@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper's Section 4.
+//
+// Each BenchmarkTable4x_* sub-benchmark runs one (problem, algorithm) cell
+// of the corresponding table: it computes the ordering and reports envelope
+// size and bandwidth as benchmark metrics alongside the timing — the same
+// three columns the paper prints. BenchmarkTable44_* times the envelope
+// Cholesky factorization under SPECTRAL vs RCM (Table 4.4), and
+// BenchmarkFigure4_* regenerates the BARTH4 spy plots (Figures 4.1–4.5).
+//
+// Problems are generated at benchScale of the paper's sizes so the full
+// suite completes in minutes; `go run ./cmd/paperbench` runs the
+// full-scale experiment and writes the complete tables.
+package envred_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	envred "repro"
+	"repro/internal/chol"
+	"repro/internal/envelope"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/perm"
+	"repro/internal/spy"
+)
+
+const (
+	benchScale = 0.10
+	benchSeed  = 1993 // the paper's year; any fixed seed works
+)
+
+var problemCache = map[string]gen.Problem{}
+
+func benchProblem(b *testing.B, name string) gen.Problem {
+	b.Helper()
+	if p, ok := problemCache[name]; ok {
+		return p
+	}
+	spec, ok := gen.ByName(name)
+	if !ok {
+		b.Fatalf("unknown problem %s", name)
+	}
+	p := spec.Generate(benchScale, benchSeed)
+	problemCache[name] = p
+	return p
+}
+
+// benchTableCell runs one (problem, algorithm) cell: each iteration
+// computes the ordering from scratch (what the "Run time" column measures);
+// envelope and bandwidth are attached as metrics.
+func benchTableCell(b *testing.B, problem string, alg string) {
+	p := benchProblem(b, problem)
+	var f harness.OrderFunc
+	for _, a := range harness.Algorithms(benchSeed) {
+		if a.Name == alg {
+			f = a.F
+		}
+	}
+	if f == nil {
+		b.Fatalf("unknown algorithm %s", alg)
+	}
+	var last perm.Perm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := f(p.G)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = o
+	}
+	b.StopTimer()
+	s := envelope.Compute(p.G, last)
+	b.ReportMetric(float64(s.Esize), "envelope")
+	b.ReportMetric(float64(s.Bandwidth), "bandwidth")
+}
+
+func benchTable(b *testing.B, problems []string) {
+	for _, prob := range problems {
+		for _, alg := range []string{harness.AlgSpectral, harness.AlgGK, harness.AlgGPS, harness.AlgRCM} {
+			b.Run(fmt.Sprintf("%s/%s", prob, alg), func(b *testing.B) {
+				benchTableCell(b, prob, alg)
+			})
+		}
+	}
+}
+
+// BenchmarkTable41 regenerates Table 4.1 (Boeing–Harwell structural).
+func BenchmarkTable41(b *testing.B) {
+	benchTable(b, []string{"BCSSTK13", "BCSSTK29", "BCSSTK30", "BCSSTK31", "BCSSTK32", "BCSSTK33"})
+}
+
+// BenchmarkTable42 regenerates Table 4.2 (Boeing–Harwell miscellaneous).
+func BenchmarkTable42(b *testing.B) {
+	benchTable(b, []string{"CAN1072", "POW9", "BLKHOLE", "DWT2680", "SSTMODEL"})
+}
+
+// BenchmarkTable43 regenerates Table 4.3 (NASA).
+func BenchmarkTable43(b *testing.B) {
+	benchTable(b, []string{"BARTH4", "SHUTTLE", "SKIRT", "PWT", "BODY", "FLAP", "IN3C"})
+}
+
+// BenchmarkTable44 regenerates Table 4.4: numeric envelope Cholesky
+// factorization time under the SPECTRAL vs RCM orderings (the ordering is
+// computed outside the timed loop; only the factorization is measured, as
+// in the paper).
+func BenchmarkTable44(b *testing.B) {
+	for _, prob := range []string{"BCSSTK29", "BCSSTK33", "BARTH4"} {
+		for _, alg := range []string{harness.AlgSpectral, harness.AlgRCM} {
+			b.Run(fmt.Sprintf("%s/%s", prob, alg), func(b *testing.B) {
+				p := benchProblem(b, prob)
+				var f harness.OrderFunc
+				for _, a := range harness.Algorithms(benchSeed) {
+					if a.Name == alg {
+						f = a.F
+					}
+				}
+				o, err := f(p.G)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vals := chol.LaplacianPlusIdentity(p.G)
+				var flops int64
+				var esize int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					m, err := chol.NewMatrix(p.G, o, vals) // assembly untimed
+					if err != nil {
+						b.Fatal(err)
+					}
+					esize = m.EnvelopeSize()
+					b.StartTimer()
+					fac, err := chol.Factorize(m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					flops = fac.Flops()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(esize), "envelope")
+				b.ReportMetric(float64(flops), "flops")
+			})
+		}
+	}
+}
+
+// figureOrderings mirrors Figures 4.1–4.5: the BARTH4 matrix under the
+// original, GPS, GK, RCM and SPECTRAL orderings.
+func figureOrderings(b *testing.B, g *graph.Graph) map[string]perm.Perm {
+	b.Helper()
+	spectral, _, err := envred.Spectral(g, envred.SpectralOptions{Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return map[string]perm.Perm{
+		"Fig4.1_original": perm.Identity(g.N()),
+		"Fig4.2_GPS":      envred.GPS(g),
+		"Fig4.3_GK":       envred.GK(g),
+		"Fig4.4_RCM":      envred.RCM(g),
+		"Fig4.5_SPECTRAL": spectral,
+	}
+}
+
+// BenchmarkFigures41to45 regenerates the five BARTH4 spy plots; each
+// iteration rasterizes and encodes one figure.
+func BenchmarkFigures41to45(b *testing.B) {
+	p := benchProblem(b, "BARTH4")
+	figs := figureOrderings(b, p.G)
+	for _, name := range []string{"Fig4.1_original", "Fig4.2_GPS", "Fig4.3_GK", "Fig4.4_RCM", "Fig4.5_SPECTRAL"} {
+		o := figs[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := spy.Rasterize(p.G, o, 256)
+				if err := r.WritePGM(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEigensolver compares the two Fiedler solvers at equal
+// ordering quality targets — the DESIGN.md ablation for the multilevel
+// machinery of §3.
+func BenchmarkAblationEigensolver(b *testing.B) {
+	p := benchProblem(b, "PWT")
+	for _, m := range []struct {
+		name   string
+		method envred.SpectralMethod
+	}{
+		{"Lanczos", envred.MethodLanczos},
+		{"Multilevel", envred.MethodMultilevel},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			var es int64
+			for i := 0; i < b.N; i++ {
+				o, _, err := envred.Spectral(p.G, envred.SpectralOptions{Method: m.method, Seed: benchSeed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				es = envred.Esize(p.G, o)
+			}
+			b.ReportMetric(float64(es), "envelope")
+		})
+	}
+}
+
+// BenchmarkAblationCoarsestSize sweeps the multilevel stopping size (the
+// paper's "typically 100"): smaller coarsest graphs mean more interpolation
+// levels and cheaper Lanczos; larger ones the reverse. Envelope quality is
+// attached as a metric so the time/quality trade is visible in one run.
+func BenchmarkAblationCoarsestSize(b *testing.B) {
+	p := benchProblem(b, "BODY")
+	for _, size := range []int{25, 100, 400, 1600} {
+		b.Run(fmt.Sprintf("coarsest%d", size), func(b *testing.B) {
+			var es int64
+			for i := 0; i < b.N; i++ {
+				o, _, err := envred.Spectral(p.G, envred.SpectralOptions{
+					Method:     envred.MethodMultilevel,
+					Multilevel: envred.MultilevelOptions{CoarsestSize: size},
+					Seed:       benchSeed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				es = envred.Esize(p.G, o)
+			}
+			b.ReportMetric(float64(es), "envelope")
+		})
+	}
+}
+
+// BenchmarkAblationSmoothing sweeps the Jacobi smoothing sweeps applied to
+// each interpolated vector before RQI (DESIGN.md ablation: smoothing
+// removes the piecewise-constant interpolation artifacts).
+func BenchmarkAblationSmoothing(b *testing.B) {
+	p := benchProblem(b, "PWT")
+	for _, steps := range []int{1, 3, 8} {
+		b.Run(fmt.Sprintf("smooth%d", steps), func(b *testing.B) {
+			var es int64
+			for i := 0; i < b.N; i++ {
+				o, _, err := envred.Spectral(p.G, envred.SpectralOptions{
+					Method:     envred.MethodMultilevel,
+					Multilevel: envred.MultilevelOptions{SmoothSteps: steps},
+					Seed:       benchSeed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				es = envred.Esize(p.G, o)
+			}
+			b.ReportMetric(float64(es), "envelope")
+		})
+	}
+}
+
+// BenchmarkAblationHybrid measures the spectral–Sloan refinement benefit.
+func BenchmarkAblationHybrid(b *testing.B) {
+	p := benchProblem(b, "BARTH4")
+	for _, m := range []struct {
+		name string
+		f    func(*graph.Graph) (perm.Perm, int64)
+	}{
+		{"SpectralOnly", func(g *graph.Graph) (perm.Perm, int64) {
+			o, _, err := envred.Spectral(g, envred.SpectralOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return o, envred.Esize(g, o)
+		}},
+		{"SpectralSloan", func(g *graph.Graph) (perm.Perm, int64) {
+			o, _, err := envred.SpectralSloan(g, envred.SpectralOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return o, envred.Esize(g, o)
+		}},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			var es int64
+			for i := 0; i < b.N; i++ {
+				_, es = m.f(p.G)
+			}
+			b.ReportMetric(float64(es), "envelope")
+		})
+	}
+}

@@ -1,0 +1,176 @@
+// Command paperbench regenerates every table and figure of Section 4 of
+// Barnard, Pothen & Simon, "A Spectral Algorithm for Envelope Reduction of
+// Sparse Matrices" (Supercomputing '93), on the bundled synthetic stand-ins
+// for the Boeing–Harwell and NASA matrices.
+//
+// Usage:
+//
+//	paperbench [-table 4.1|4.2|4.3|4.4|all] [-figures] [-scale S] [-seed N] [-outdir DIR]
+//
+// With -outdir the tables are also written to table4_*.txt and the figures
+// to fig4_*.pgm / fig4_*.txt (ASCII); otherwise everything prints to
+// stdout. -scale shrinks every problem (scale 1 = the paper's sizes; the
+// default 1 reproduces the full experiment and takes a few minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/perm"
+	"repro/internal/spy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+	var (
+		table   = flag.String("table", "all", "which table to run: 4.1, 4.2, 4.3, 4.4 or all")
+		figures = flag.Bool("figures", true, "regenerate Figures 4.1-4.5 (BARTH4 spy plots)")
+		scale   = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1 = paper sizes")
+		seed    = flag.Int64("seed", 1993, "random seed for generators and eigensolver")
+		outdir  = flag.String("outdir", "", "directory for table4_*.txt and fig4_*.pgm (stdout only if empty)")
+		spySize = flag.Int("spysize", 512, "spy plot raster size in pixels")
+	)
+	flag.Parse()
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	emit := func(name string, write func(io.Writer) error) {
+		if err := write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if *outdir != "" {
+			f, err := os.Create(filepath.Join(*outdir, name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := write(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	runTable := func(id, suite, title string) {
+		start := time.Now()
+		results, err := harness.RunSuite(suite, *scale, *seed)
+		if err != nil {
+			log.Fatalf("table %s: %v", id, err)
+		}
+		log.Printf("table %s computed in %.1fs", id, time.Since(start).Seconds())
+		emit("table"+id+".txt", func(w io.Writer) error {
+			return harness.WriteTable(w, title, results)
+		})
+	}
+
+	switch *table {
+	case "4.1":
+		runTable("4_1", gen.SuiteStructural, "Table 4.1: Results (Boeing-Harwell -- Structural Analysis)")
+	case "4.2":
+		runTable("4_2", gen.SuiteMisc, "Table 4.2: Results (Boeing-Harwell -- Miscellaneous)")
+	case "4.3":
+		runTable("4_3", gen.SuiteNASA, "Table 4.3: Results (NASA)")
+	case "4.4":
+		runTable44(emit, *scale, *seed)
+	case "all":
+		runTable("4_1", gen.SuiteStructural, "Table 4.1: Results (Boeing-Harwell -- Structural Analysis)")
+		runTable("4_2", gen.SuiteMisc, "Table 4.2: Results (Boeing-Harwell -- Miscellaneous)")
+		runTable("4_3", gen.SuiteNASA, "Table 4.3: Results (NASA)")
+		runTable44(emit, *scale, *seed)
+	default:
+		log.Fatalf("unknown -table %q", *table)
+	}
+
+	if *figures {
+		runFigures(*outdir, *scale, *seed, *spySize)
+	}
+}
+
+func runTable44(emit func(string, func(io.Writer) error), scale float64, seed int64) {
+	var rows []harness.FactorRow
+	for _, name := range []string{"BCSSTK29", "BCSSTK33", "BARTH4"} {
+		spec, ok := gen.ByName(name)
+		if !ok {
+			log.Fatalf("problem %s missing", name)
+		}
+		start := time.Now()
+		r, err := harness.RunFactorization(spec.Generate(scale, seed), seed)
+		if err != nil {
+			log.Fatalf("table 4.4 (%s): %v", name, err)
+		}
+		log.Printf("table 4.4 %s factored in %.1fs", name, time.Since(start).Seconds())
+		rows = append(rows, r...)
+	}
+	emit("table4_4.txt", func(w io.Writer) error {
+		return harness.WriteFactorTable(w, rows)
+	})
+}
+
+func runFigures(outdir string, scale float64, seed int64, size int) {
+	spec, ok := gen.ByName("BARTH4")
+	if !ok {
+		log.Fatal("BARTH4 missing")
+	}
+	p := spec.Generate(scale, seed)
+	g := p.G
+
+	ords := make(map[string]perm.Perm, 5)
+	ords["fig4_1_original"] = perm.Identity(g.N())
+	for _, alg := range harness.Algorithms(seed) {
+		o, err := alg.F(g)
+		if err != nil {
+			log.Fatalf("figures: %s: %v", alg.Name, err)
+		}
+		switch alg.Name {
+		case harness.AlgGPS:
+			ords["fig4_2_gps"] = o
+		case harness.AlgGK:
+			ords["fig4_3_gk"] = o
+		case harness.AlgRCM:
+			ords["fig4_4_rcm"] = o
+		case harness.AlgSpectral:
+			ords["fig4_5_spectral"] = o
+		}
+	}
+
+	names := []string{"fig4_1_original", "fig4_2_gps", "fig4_3_gk", "fig4_4_rcm", "fig4_5_spectral"}
+	for _, name := range names {
+		r := spy.Rasterize(g, ords[name], size)
+		if outdir == "" {
+			small := spy.Rasterize(g, ords[name], 48)
+			fmt.Printf("\n%s (nz = %d):\n%s", name, g.N()+2*g.M(), small.ASCII())
+			continue
+		}
+		path := filepath.Join(outdir, name+".pgm")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WritePGM(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		txt := filepath.Join(outdir, name+".txt")
+		small := spy.Rasterize(g, ords[name], 64)
+		if err := os.WriteFile(txt, []byte(small.ASCII()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s and %s", path, txt)
+	}
+}

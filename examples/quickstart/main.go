@@ -1,0 +1,41 @@
+// Quickstart: build a small sparse matrix pattern, reorder it with the
+// spectral algorithm, and compare the envelope against the classical
+// orderings — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	envred "repro"
+)
+
+func main() {
+	// A 30×12 five-point grid: the matrix pattern of a small 2-D PDE
+	// discretization (n = 360).
+	g := envred.Grid(30, 12)
+	fmt.Printf("matrix: n = %d, lower-triangle nonzeros = %d\n\n", g.N(), g.Nonzeros())
+
+	// The paper's Algorithm 1: Laplacian → Fiedler vector → sort.
+	spectral, info, err := envred.Spectral(g, envred.SpectralOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fiedler value λ2 = %.6f (eigensolver residual %.1e)\n\n", info.Lambda2, info.Residual)
+
+	fmt.Printf("%-10s %10s %10s %10s\n", "ordering", "envelope", "work Σr²", "bandwidth")
+	show := func(name string, p envred.Perm) {
+		s := envred.Stats(g, p)
+		fmt.Printf("%-10s %10d %10d %10d\n", name, s.Esize, s.Ework, s.Bandwidth)
+	}
+	show("original", envred.Identity(g.N()))
+	show("random", envred.RandomPerm(g.N(), 7))
+	show("RCM", envred.RCM(g))
+	show("GPS", envred.GPS(g))
+	show("GK", envred.GK(g))
+	show("SPECTRAL", spectral)
+
+	// The reordered pattern, as ASCII art: a thin band hugging the diagonal.
+	fmt.Println("\nspectral-ordered structure:")
+	fmt.Print(envred.SpyASCII(g, spectral, 36))
+}

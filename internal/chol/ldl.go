@@ -1,0 +1,139 @@
+package chol
+
+import (
+	"fmt"
+	"math"
+)
+
+// LDLFactor is a root-free envelope factorization A = L·D·Lᵀ with unit
+// lower-triangular L and diagonal D. It shares the envelope-storage layout
+// with Factor, avoids square roots (the classic "envelope LDLᵀ" used by
+// several structural codes), and extends to symmetric indefinite matrices
+// whose leading principal minors are nonsingular — no pivoting is
+// performed, so a zero pivot aborts.
+type LDLFactor struct {
+	m     *Matrix // env holds L (unit diagonal implicit); diag holds D
+	flops int64
+}
+
+// Flops returns the multiply–add count of the numeric factorization.
+func (f *LDLFactor) Flops() int64 { return f.flops }
+
+// EnvelopeSize returns the strictly-lower storage of the factor.
+func (f *LDLFactor) EnvelopeSize() int64 { return f.m.EnvelopeSize() }
+
+// D returns the diagonal matrix entries (aliased; callers must not
+// modify).
+func (f *LDLFactor) D() []float64 { return f.m.diag }
+
+// FactorizeLDL computes the envelope LDLᵀ factorization in place (the
+// Matrix must not be used afterwards except through the returned factor).
+// It fails on an exactly-zero (or subnormal) pivot; unlike Cholesky,
+// negative pivots are fine.
+func FactorizeLDL(m *Matrix) (*LDLFactor, error) {
+	n := m.n
+	var flops int64
+	// work[j] caches l_ij·d_j for the current row i.
+	work := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fi := int(m.first[i])
+		rowI := m.env[m.rowptr[i]:m.rowptr[i+1]]
+		for jo := 0; jo < len(rowI); jo++ {
+			j := fi + jo
+			fj := int(m.first[j])
+			lo := fi
+			if fj > lo {
+				lo = fj
+			}
+			s := rowI[jo]
+			rowJ := m.env[m.rowptr[j]:m.rowptr[j+1]]
+			ii := lo - fi
+			jj := lo - fj
+			for k := lo; k < j; k++ {
+				s -= work[k] * rowJ[jj] // work[k] = l_ik·d_k
+				ii++
+				jj++
+			}
+			flops += int64(j - lo)
+			d := m.diag[j]
+			if math.Abs(d) < math.SmallestNonzeroFloat64 {
+				return nil, fmt.Errorf("chol: zero LDL pivot at column %d", j)
+			}
+			work[j] = s // l_ij·d_j
+			rowI[jo] = s / d
+			flops++
+		}
+		d := m.diag[i]
+		for jo, l := range rowI {
+			d -= l * work[fi+jo]
+		}
+		flops += int64(len(rowI))
+		if math.Abs(d) < math.SmallestNonzeroFloat64 {
+			return nil, fmt.Errorf("chol: zero LDL pivot at row %d", i)
+		}
+		m.diag[i] = d
+	}
+	return &LDLFactor{m: m, flops: flops}, nil
+}
+
+// Solve solves PᵀAP·x = b (new-ordering positions): L·y = b, D·z = y,
+// Lᵀ·x = z.
+func (f *LDLFactor) Solve(b []float64) []float64 {
+	m := f.m
+	n := m.n
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward with unit L.
+	for i := 0; i < n; i++ {
+		row, fc := m.Row(i)
+		s := x[i]
+		for k, l := range row {
+			s -= l * x[fc+k]
+		}
+		x[i] = s
+	}
+	// Diagonal.
+	for i := 0; i < n; i++ {
+		x[i] /= m.diag[i]
+	}
+	// Backward with unit Lᵀ (column sweep).
+	for i := n - 1; i >= 0; i-- {
+		row, fc := m.Row(i)
+		for k, l := range row {
+			x[fc+k] -= l * x[i]
+		}
+	}
+	return x
+}
+
+// SolveOriginal solves A·z = b in original vertex labels.
+func (f *LDLFactor) SolveOriginal(b []float64) []float64 {
+	m := f.m
+	pb := make([]float64, m.n)
+	for i, v := range m.order {
+		pb[i] = b[v]
+	}
+	px := f.Solve(pb)
+	x := make([]float64, m.n)
+	for i, v := range m.order {
+		x[v] = px[i]
+	}
+	return x
+}
+
+// Inertia returns the number of positive, negative and (numerically) zero
+// entries of D — by Sylvester's law of inertia, the inertia of A itself.
+// Useful to confirm definiteness after an indefinite solve.
+func (f *LDLFactor) Inertia() (pos, neg, zero int) {
+	for _, d := range f.m.diag {
+		switch {
+		case d > 0:
+			pos++
+		case d < 0:
+			neg++
+		default:
+			zero++
+		}
+	}
+	return pos, neg, zero
+}

@@ -1,0 +1,175 @@
+package chol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/order"
+	"repro/internal/perm"
+)
+
+func TestLDLMatchesCholeskySolve(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.Random(30, 55, seed)
+		p := perm.Random(30, seed+1)
+		vals := LaplacianPlusIdentity(g)
+		mLL, _ := NewMatrix(g, p, vals)
+		mLDL, _ := NewMatrix(g, p, vals)
+		fLL, err := Factorize(mLL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fLDL, err := FactorizeLDL(mLDL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]float64, 30)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1 := fLL.Solve(b)
+		x2 := fLDL.Solve(b)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-9*(1+math.Abs(x1[i])) {
+				t.Fatalf("seed %d: LDL solve differs at %d: %v vs %v", seed, i, x1[i], x2[i])
+			}
+		}
+	}
+}
+
+func TestLDLIndefinite(t *testing.T) {
+	// −(L+I) is negative definite: Cholesky must fail, LDLᵀ must succeed
+	// with all-negative D.
+	g := graph.Grid(5, 5)
+	neg := func(u, v int) float64 {
+		if u == v {
+			return -float64(g.Degree(u)) - 1
+		}
+		return 1
+	}
+	mC, _ := NewMatrix(g, perm.Identity(25), neg)
+	if _, err := Factorize(mC); err == nil {
+		t.Fatal("Cholesky accepted a negative definite matrix")
+	}
+	mL, _ := NewMatrix(g, perm.Identity(25), neg)
+	f, err := FactorizeLDL(mL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, negN, zero := f.Inertia()
+	if pos != 0 || zero != 0 || negN != 25 {
+		t.Fatalf("inertia = (%d,%d,%d), want (0,25,0)", pos, negN, zero)
+	}
+	// Solve check against the positive counterpart: (−A)x = b ⇔ A(−x) = b.
+	b := make([]float64, 25)
+	b[3] = 1
+	x := f.Solve(b)
+	mPos, _ := NewMatrix(g, perm.Identity(25), LaplacianPlusIdentity(g))
+	ax := make([]float64, 25)
+	mPos.MulVec(x, ax)
+	for i := range ax {
+		if math.Abs(-ax[i]-b[i]) > 1e-10 {
+			t.Fatalf("indefinite solve wrong at %d", i)
+		}
+	}
+}
+
+func TestLDLInertiaMixedSigns(t *testing.T) {
+	// A diagonal-ish indefinite matrix: path Laplacian shifted by −0.5 has
+	// eigenvalues 4sin²(kπ/2n)−0.5; count how many are negative and check
+	// the inertia matches. n=8: eigenvalues of L(P8): 0, .152, .586, 1.235,
+	// 2, 2.765, 3.414, 3.848 → shifted: 2 negative.
+	g := graph.Path(8)
+	vals := func(u, v int) float64 {
+		if u == v {
+			return float64(g.Degree(u)) - 0.5
+		}
+		return -1
+	}
+	m, _ := NewMatrix(g, perm.Identity(8), vals)
+	f, err := FactorizeLDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg, zero := f.Inertia()
+	if neg != 2 || zero != 0 || pos != 6 {
+		t.Fatalf("inertia = (%d,%d,%d), want (6,2,0)", pos, neg, zero)
+	}
+}
+
+func TestLDLSolveOriginalLabels(t *testing.T) {
+	g := graph.Grid9(8, 8)
+	p := order.GK(g)
+	vals := LaplacianPlusIdentity(g)
+	m, _ := NewMatrix(g, p, vals)
+	f, err := FactorizeLDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	for i := range b {
+		b[i] = 1
+	}
+	x := f.SolveOriginal(b)
+	// (L+I)·1 = 1: solution is the ones vector.
+	for i, xi := range x {
+		if math.Abs(xi-1) > 1e-10 {
+			t.Fatalf("x[%d] = %v", i, xi)
+		}
+	}
+}
+
+func TestLDLFlopsComparableToCholesky(t *testing.T) {
+	g := graph.Grid(12, 12)
+	p := order.RCM(g)
+	vals := LaplacianPlusIdentity(g)
+	m1, _ := NewMatrix(g, p, vals)
+	m2, _ := NewMatrix(g, p, vals)
+	fC, _ := Factorize(m1)
+	fL, err := FactorizeLDL(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same O(Σr²) structure: within 2× of each other.
+	if fL.Flops() > 2*fC.Flops() || fC.Flops() > 2*fL.Flops() {
+		t.Fatalf("flop counts diverge: LDL %d vs LLᵀ %d", fL.Flops(), fC.Flops())
+	}
+}
+
+func TestLDLZeroPivot(t *testing.T) {
+	// The 2x2 zero matrix on an edge: first pivot is exactly 0.
+	g := graph.Path(2)
+	vals := func(u, v int) float64 { return 0 }
+	m, _ := NewMatrix(g, perm.Identity(2), vals)
+	if _, err := FactorizeLDL(m); err == nil {
+		t.Fatal("zero pivot accepted")
+	}
+}
+
+func TestLDLResidualLarge(t *testing.T) {
+	g := graph.Grid9(20, 20)
+	p := order.RCM(g)
+	vals := LaplacianPlusIdentity(g)
+	m, _ := NewMatrix(g, p, vals)
+	check, _ := NewMatrix(g, p, vals)
+	f, err := FactorizeLDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b := make([]float64, g.N())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := f.Solve(b)
+	ax := make([]float64, g.N())
+	check.MulVec(x, ax)
+	linalg.Axpy(-1, b, ax)
+	if r := linalg.Nrm2(ax) / linalg.Nrm2(b); r > 1e-10 {
+		t.Fatalf("residual %v", r)
+	}
+}

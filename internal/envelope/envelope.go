@@ -1,0 +1,187 @@
+// Package envelope computes the envelope parameters of Section 2 of the
+// paper for a sparse symmetric matrix pattern (given as its adjacency graph
+// plus an implicit nonzero diagonal) under an ordering: row widths, envelope
+// size, envelope work, bandwidth, 1-sum, 2-sum and the frontwidth profile.
+//
+// These are the objective functions every experiment in Section 4 reports,
+// and the inequalities of Theorem 2.1 hold among them per ordering (see the
+// property tests).
+package envelope
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+// Stats collects the envelope parameters of a matrix pattern under one
+// ordering. All quantities use the paper's definitions (nonzero diagonal
+// assumed, 0-based positions).
+type Stats struct {
+	// Esize is the envelope size |Env(A)| = Σᵢ rᵢ.
+	Esize int64
+	// Ework is the work estimate Σᵢ rᵢ² for envelope Cholesky.
+	Ework int64
+	// Bandwidth is max rᵢ.
+	Bandwidth int
+	// OneSum is σ₁(A) = Σ over lower-triangle nonzeros of (i−j)
+	// = Σ over edges |pos(u)−pos(v)|.
+	OneSum int64
+	// TwoSum is σ₂(A) = Σ over lower-triangle nonzeros of (i−j)².
+	TwoSum int64
+	// MaxFrontwidth is max_j |adj(V_j)|, the peak wavefront.
+	MaxFrontwidth int
+}
+
+// RowWidths returns rᵢ = i − fᵢ for each position i of the ordering, where
+// fᵢ is the position of the leftmost neighbor of the vertex at position i
+// (or i itself when no neighbor precedes it; the diagonal is implicit).
+// order is new→old.
+func RowWidths(g *graph.Graph, order perm.Perm) []int32 {
+	inv := order.Inverse()
+	r := make([]int32, len(order))
+	for i, v := range order {
+		first := int32(i)
+		for _, w := range g.Neighbors(int(v)) {
+			if p := inv[w]; p < first {
+				first = p
+			}
+		}
+		r[i] = int32(i) - first
+	}
+	return r
+}
+
+// Compute returns the envelope statistics of graph g under the ordering.
+// It panics if the ordering length does not match g.N(); use Check for a
+// non-panicking validation.
+func Compute(g *graph.Graph, order perm.Perm) Stats {
+	if len(order) != g.N() {
+		panic(fmt.Sprintf("envelope: ordering length %d != n %d", len(order), g.N()))
+	}
+	inv := order.Inverse()
+	var s Stats
+	for i, v := range order {
+		first := int32(i)
+		for _, w := range g.Neighbors(int(v)) {
+			if p := inv[w]; p < first {
+				first = p
+			}
+		}
+		r := int64(int32(i) - first)
+		s.Esize += r
+		s.Ework += r * r
+		if int(r) > s.Bandwidth {
+			s.Bandwidth = int(r)
+		}
+	}
+	// 1-sum and 2-sum over edges: each lower-triangular off-diagonal nonzero
+	// corresponds to exactly one edge and contributes |Δpos| and Δpos².
+	for v := 0; v < g.N(); v++ {
+		pv := int64(inv[v])
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v {
+				d := pv - int64(inv[w])
+				if d < 0 {
+					d = -d
+				}
+				s.OneSum += d
+				s.TwoSum += d * d
+			}
+		}
+	}
+	s.MaxFrontwidth = maxFrontwidth(g, order, inv)
+	return s
+}
+
+// Esize returns only the envelope size; it is the hot call used by
+// Algorithm 1 to compare the two sort directions.
+func Esize(g *graph.Graph, order perm.Perm) int64 {
+	inv := order.Inverse()
+	var total int64
+	for i, v := range order {
+		first := int32(i)
+		for _, w := range g.Neighbors(int(v)) {
+			if p := inv[w]; p < first {
+				first = p
+			}
+		}
+		total += int64(int32(i) - first)
+	}
+	return total
+}
+
+// Bandwidth returns only the bandwidth of the ordering.
+func Bandwidth(g *graph.Graph, order perm.Perm) int {
+	inv := order.Inverse()
+	bw := 0
+	for i, v := range order {
+		for _, w := range g.Neighbors(int(v)) {
+			if p := int(inv[w]); p < i && i-p > bw {
+				bw = i - p
+			}
+		}
+	}
+	return bw
+}
+
+// Frontwidths returns the wavefront profile: out[j] = |adj(V_j)| where
+// V_j is the set of the first j+1 vertices in the ordering. Σ out[j] over
+// the profile equals Esize (the identity of §2.4), which the tests verify.
+func Frontwidths(g *graph.Graph, order perm.Perm) []int32 {
+	n := g.N()
+	inv := order.Inverse()
+	out := make([]int32, n)
+	// active[w] tracks whether w is currently in adj(V_j): numbered later
+	// than j but adjacent to some numbered vertex.
+	active := make([]bool, n)
+	front := int32(0)
+	for j, v := range order {
+		if active[v] {
+			// v was in the front and is now being numbered.
+			active[v] = false
+			front--
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if int(inv[w]) > j && !active[w] {
+				active[w] = true
+				front++
+			}
+		}
+		out[j] = front
+	}
+	return out
+}
+
+func maxFrontwidth(g *graph.Graph, order perm.Perm, inv perm.Perm) int {
+	n := g.N()
+	active := make([]bool, n)
+	front, max := 0, 0
+	for j, v := range order {
+		if active[v] {
+			active[v] = false
+			front--
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if int(inv[w]) > j && !active[w] {
+				active[w] = true
+				front++
+			}
+		}
+		if front > max {
+			max = front
+		}
+	}
+	return max
+}
+
+// EworkBound returns the upper bound (1/2)·Σ rᵢ(rᵢ+3) on the flops of an
+// envelope Cholesky factorization quoted in §2.1.
+func EworkBound(g *graph.Graph, order perm.Perm) int64 {
+	var total int64
+	for _, r := range RowWidths(g, order) {
+		total += int64(r) * (int64(r) + 3)
+	}
+	return total / 2
+}

@@ -1,0 +1,227 @@
+package envelope
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+// pathStats: P_n under the identity has r_0=0 and r_i=1 for i>0.
+func TestPathIdentity(t *testing.T) {
+	g := graph.Path(6)
+	s := Compute(g, perm.Identity(6))
+	if s.Esize != 5 {
+		t.Errorf("Esize = %d, want 5", s.Esize)
+	}
+	if s.Ework != 5 {
+		t.Errorf("Ework = %d, want 5", s.Ework)
+	}
+	if s.Bandwidth != 1 {
+		t.Errorf("Bandwidth = %d, want 1", s.Bandwidth)
+	}
+	if s.OneSum != 5 || s.TwoSum != 5 {
+		t.Errorf("sums = %d,%d want 5,5", s.OneSum, s.TwoSum)
+	}
+	if s.MaxFrontwidth != 1 {
+		t.Errorf("MaxFrontwidth = %d, want 1", s.MaxFrontwidth)
+	}
+}
+
+// A hand-computed example: K_3 with one pendant vertex, ordering 0,1,2,3
+// with edges {0,1},{0,2},{1,2},{2,3}.
+func TestHandComputed(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	s := Compute(g, perm.Identity(4))
+	// r = [0, 1, 2, 1]; Esize = 4; Ework = 0+1+4+1 = 6; bw = 2.
+	if s.Esize != 4 || s.Ework != 6 || s.Bandwidth != 2 {
+		t.Fatalf("got Esize=%d Ework=%d bw=%d", s.Esize, s.Ework, s.Bandwidth)
+	}
+	// σ1: edges (0,1):1 (0,2):2 (1,2):1 (2,3):1 → 5; σ2: 1+4+1+1 = 7.
+	if s.OneSum != 5 || s.TwoSum != 7 {
+		t.Fatalf("σ1=%d σ2=%d want 5,7", s.OneSum, s.TwoSum)
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	n := 7
+	g := graph.Complete(n)
+	s := Compute(g, perm.Identity(n))
+	// r_i = i; Esize = n(n-1)/2; bandwidth n-1.
+	if s.Esize != int64(n*(n-1)/2) {
+		t.Errorf("Esize = %d", s.Esize)
+	}
+	if s.Bandwidth != n-1 {
+		t.Errorf("Bandwidth = %d", s.Bandwidth)
+	}
+	// Envelope of K_n is invariant under any ordering.
+	for seed := int64(0); seed < 5; seed++ {
+		p := perm.Random(n, seed)
+		if got := Esize(g, p); got != s.Esize {
+			t.Errorf("K_n envelope changed under permutation: %d", got)
+		}
+	}
+}
+
+func TestBandwidthMatchesCompute(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.Random(40, 80, seed)
+		p := perm.Random(40, seed+100)
+		if bw := Bandwidth(g, p); bw != Compute(g, p).Bandwidth {
+			t.Fatalf("seed %d: Bandwidth %d != Compute %d", seed, bw, Compute(g, p).Bandwidth)
+		}
+	}
+}
+
+func TestRowWidthsSumIsEsize(t *testing.T) {
+	g := graph.Grid(6, 5)
+	p := perm.Random(30, 3)
+	var sum int64
+	for _, r := range RowWidths(g, p) {
+		sum += int64(r)
+	}
+	if sum != Esize(g, p) {
+		t.Fatalf("Σr = %d, Esize = %d", sum, Esize(g, p))
+	}
+}
+
+// §2.4: Esize(A) = Σ_j |adj(V_j)| — the frontwidth identity.
+func TestFrontwidthIdentity(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.Random(50, 100, seed)
+		p := perm.Random(50, seed*3+1)
+		var sum int64
+		for _, f := range Frontwidths(g, p) {
+			sum += int64(f)
+		}
+		if es := Esize(g, p); sum != es {
+			t.Fatalf("seed %d: Σ frontwidths = %d, Esize = %d", seed, sum, es)
+		}
+	}
+}
+
+func TestFrontwidthLastIsZero(t *testing.T) {
+	g := graph.Grid(4, 4)
+	fw := Frontwidths(g, perm.Identity(16))
+	if fw[len(fw)-1] != 0 {
+		t.Fatalf("final frontwidth = %d, want 0", fw[len(fw)-1])
+	}
+}
+
+// Theorem 2.1, per-ordering forms. For any ordering:
+//
+//	Esize ≤ σ1 ≤ Δ·Esize,  Ework ≤ σ2 ≤ Δ·Ework,
+//	σ1 ≤ σ2 (integer gaps ≥ 1),  σ1² ≤ m·σ2 (Cauchy–Schwarz).
+func TestTheorem21Inequalities(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(40) + 2
+		g := graph.Random(n, rng.Intn(3*n), rng.Int63())
+		p := perm.Random(n, rng.Int63())
+		s := Compute(g, p)
+		delta := int64(g.MaxDegree())
+		m := int64(g.M())
+		if s.Esize > s.OneSum {
+			t.Fatalf("Esize %d > σ1 %d", s.Esize, s.OneSum)
+		}
+		if s.OneSum > delta*s.Esize {
+			t.Fatalf("σ1 %d > Δ·Esize %d", s.OneSum, delta*s.Esize)
+		}
+		if s.Ework > s.TwoSum {
+			t.Fatalf("Ework %d > σ2 %d", s.Ework, s.TwoSum)
+		}
+		if s.TwoSum > delta*s.Ework {
+			t.Fatalf("σ2 %d > Δ·Ework %d", s.TwoSum, delta*s.Ework)
+		}
+		if s.OneSum > s.TwoSum {
+			t.Fatalf("σ1 %d > σ2 %d", s.OneSum, s.TwoSum)
+		}
+		if s.OneSum*s.OneSum > m*s.TwoSum {
+			t.Fatalf("σ1² %d > m·σ2 %d", s.OneSum*s.OneSum, m*s.TwoSum)
+		}
+	}
+}
+
+// Quick property: envelope parameters are invariant under reversal only for
+// symmetric profiles — but bandwidth always is an upper bound for row widths
+// and Esize ≤ n·bw.
+func TestEnvelopeBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%30+30) % 61
+		if n < 2 {
+			n = 2
+		}
+		g := graph.Random(n, n, seed)
+		p := perm.Random(n, seed+1)
+		s := Compute(g, p)
+		if s.Esize > int64(n)*int64(s.Bandwidth) {
+			return false
+		}
+		if s.Ework > int64(n)*int64(s.Bandwidth)*int64(s.Bandwidth) {
+			return false
+		}
+		if int64(s.MaxFrontwidth) > s.Esize && s.Esize > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEworkBound(t *testing.T) {
+	g := graph.Grid(5, 5)
+	p := perm.Identity(25)
+	rw := RowWidths(g, p)
+	var want int64
+	for _, r := range rw {
+		want += int64(r) * (int64(r) + 3)
+	}
+	want /= 2
+	if got := EworkBound(g, p); got != want {
+		t.Fatalf("EworkBound = %d, want %d", got, want)
+	}
+	// The bound dominates Ework/2 and is dominated by Ework when bw ≥ 3... just
+	// check it is at least Esize (since r(r+3)/2 ≥ r).
+	if got := EworkBound(g, p); got < Esize(g, p) {
+		t.Fatalf("EworkBound %d < Esize %d", got, Esize(g, p))
+	}
+}
+
+func TestComputePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compute(graph.Path(4), perm.Identity(3))
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(3, nil)
+	s := Compute(g, perm.Identity(3))
+	if s.Esize != 0 || s.Bandwidth != 0 || s.OneSum != 0 || s.MaxFrontwidth != 0 {
+		t.Fatalf("edgeless graph stats = %+v", s)
+	}
+}
+
+func BenchmarkCompute(b *testing.B) {
+	g := graph.Grid(100, 100)
+	p := perm.Random(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(g, p)
+	}
+}
+
+func BenchmarkEsize(b *testing.B) {
+	g := graph.Grid(100, 100)
+	p := perm.Random(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Esize(g, p)
+	}
+}

@@ -1,0 +1,97 @@
+package envelope
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+// ExhaustiveMax is the largest graph Exhaustive* will accept; n! orderings
+// are enumerated, so 10 (3.6M orderings) is already seconds of work.
+const ExhaustiveMax = 10
+
+// ExhaustiveMin enumerates all n! orderings of a tiny graph and returns the
+// minimum envelope size and minimum envelope work (generally attained by
+// different orderings, as §2.1 notes). It exists to validate heuristics
+// and the Theorem 2.2 bounds; it panics if g has more than ExhaustiveMax
+// vertices.
+func ExhaustiveMin(g *graph.Graph) (minEsize, minEwork int64) {
+	n := g.N()
+	if n > ExhaustiveMax {
+		panic("envelope: graph too large for exhaustive enumeration")
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	order := make(perm.Perm, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	minEsize, minEwork = math.MaxInt64, math.MaxInt64
+	inv := make(perm.Perm, n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			for p, v := range order {
+				inv[v] = int32(p)
+			}
+			var esize, ework int64
+			for i, v := range order {
+				first := int32(i)
+				for _, w := range g.Neighbors(int(v)) {
+					if p := inv[w]; p < first {
+						first = p
+					}
+				}
+				r := int64(int32(i) - first)
+				esize += r
+				ework += r * r
+			}
+			if esize < minEsize {
+				minEsize = esize
+			}
+			if ework < minEwork {
+				minEwork = ework
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			order[k], order[i] = order[i], order[k]
+			rec(k + 1)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	rec(0)
+	return minEsize, minEwork
+}
+
+// ExhaustiveMinOrder returns an ordering attaining the minimum envelope
+// size (ties broken by enumeration order). Same size limit as
+// ExhaustiveMin.
+func ExhaustiveMinOrder(g *graph.Graph) (perm.Perm, int64) {
+	n := g.N()
+	if n > ExhaustiveMax {
+		panic("envelope: graph too large for exhaustive enumeration")
+	}
+	best := perm.Identity(n)
+	bestE := Esize(g, best)
+	order := perm.Identity(n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if e := Esize(g, order); e < bestE {
+				bestE = e
+				copy(best, order)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			order[k], order[i] = order[i], order[k]
+			rec(k + 1)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	rec(0)
+	return best, bestE
+}

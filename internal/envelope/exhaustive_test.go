@@ -1,0 +1,97 @@
+package envelope
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+func TestExhaustiveMinPath(t *testing.T) {
+	// The path's natural order is optimal: Esize = Ework = n−1.
+	for n := 2; n <= 7; n++ {
+		g := graph.Path(n)
+		esize, ework := ExhaustiveMin(g)
+		if esize != int64(n-1) || ework != int64(n-1) {
+			t.Fatalf("P%d: min = %d/%d, want %d/%d", n, esize, ework, n-1, n-1)
+		}
+	}
+}
+
+func TestExhaustiveMinComplete(t *testing.T) {
+	// K_n's envelope is ordering-invariant: n(n−1)/2 and Σi².
+	g := graph.Complete(5)
+	esize, ework := ExhaustiveMin(g)
+	if esize != 10 {
+		t.Fatalf("K5 Esize min = %d, want 10", esize)
+	}
+	if ework != 0+1+4+9+16 {
+		t.Fatalf("K5 Ework min = %d, want 30", ework)
+	}
+}
+
+func TestExhaustiveMinMatchesCompute(t *testing.T) {
+	// The streamlined inner loop must agree with Compute on every graph.
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Random(6, 6, seed)
+		esize, ework := ExhaustiveMin(g)
+		// Recompute by brute force through the public Compute.
+		bestE, bestW := int64(1<<62), int64(1<<62)
+		order := perm.Identity(6)
+		var rec func(k int)
+		rec = func(k int) {
+			if k == 6 {
+				s := Compute(g, order)
+				if s.Esize < bestE {
+					bestE = s.Esize
+				}
+				if s.Ework < bestW {
+					bestW = s.Ework
+				}
+				return
+			}
+			for i := k; i < 6; i++ {
+				order[k], order[i] = order[i], order[k]
+				rec(k + 1)
+				order[k], order[i] = order[i], order[k]
+			}
+		}
+		rec(0)
+		if esize != bestE || ework != bestW {
+			t.Fatalf("seed %d: ExhaustiveMin %d/%d vs Compute %d/%d", seed, esize, ework, bestE, bestW)
+		}
+	}
+}
+
+func TestExhaustiveMinOrderAttainsMin(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		g := graph.Random(7, 9, seed)
+		o, e := ExhaustiveMinOrder(g)
+		if err := o.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if Esize(g, o) != e {
+			t.Fatalf("returned order does not attain claimed envelope")
+		}
+		minE, _ := ExhaustiveMin(g)
+		if e != minE {
+			t.Fatalf("ExhaustiveMinOrder %d != ExhaustiveMin %d", e, minE)
+		}
+	}
+}
+
+func TestExhaustivePanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExhaustiveMin(graph.Path(ExhaustiveMax + 1))
+}
+
+func TestExhaustiveEmpty(t *testing.T) {
+	esize, ework := ExhaustiveMin(graph.NewBuilder(0).Build())
+	if esize != 0 || ework != 0 {
+		t.Fatal("empty graph minima nonzero")
+	}
+}

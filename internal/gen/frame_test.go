@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestWithDOFDegreeFormula(t *testing.T) {
+	// For a node of degree d and dof f: dof vertex degree = (f−1) + d·f.
+	node := graph.Grid(6, 6)
+	for _, dof := range []int{2, 3, 6} {
+		g := WithDOF(node, dof)
+		if g.N() != 36*dof {
+			t.Fatalf("dof=%d: N = %d", dof, g.N())
+		}
+		for v := 0; v < node.N(); v++ {
+			want := (dof - 1) + node.Degree(v)*dof
+			for a := 0; a < dof; a++ {
+				if got := g.Degree(v*dof + a); got != want {
+					t.Fatalf("dof=%d node=%d slot=%d: degree %d, want %d", dof, v, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWithDOFOneIsIdentity(t *testing.T) {
+	node := graph.Path(9)
+	if g := WithDOF(node, 1); g != node {
+		t.Fatal("dof=1 should return the node graph unchanged")
+	}
+}
+
+func TestWithDOFEdgeCount(t *testing.T) {
+	node := graph.Cycle(10) // n=10, m=10
+	g := WithDOF(node, 3)
+	// m = nodes·C(3,2) + nodeEdges·3² = 10·3 + 10·9 = 120.
+	if g.M() != 120 {
+		t.Fatalf("M = %d, want 120", g.M())
+	}
+}
+
+func TestFrame3DLStraightDegenerates(t *testing.T) {
+	// With b=0 the L reduces to a plain box... b must be ≥ 1 in our
+	// builder; compare instead a tiny L against hand counts.
+	g := Frame3DL(4, 2, 2, 2, 0, 1)
+	// Bar1: 4·2·2 = 16; bar2: x∈[2,4), y∈[2,4), z∈[0,2) = 8. Total 24.
+	if g.N() != 24 {
+		t.Fatalf("N = %d, want 24", g.N())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("L-frame disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrame3DLVoidsReduceSize(t *testing.T) {
+	full := Frame3DL(30, 20, 8, 8, 0, 7)
+	holed := Frame3DL(30, 20, 8, 8, 12, 7)
+	if holed.N() >= full.N() {
+		t.Fatalf("voids did not remove vertices: %d vs %d", holed.N(), full.N())
+	}
+	if !graph.IsConnected(holed) {
+		t.Fatal("perforated frame disconnected")
+	}
+	if err := holed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrame3DLDeterministic(t *testing.T) {
+	a := Frame3DL(20, 14, 6, 6, 8, 3)
+	b := Frame3DL(20, 14, 6, 6, 8, 3)
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed, different frame")
+	}
+	c := Frame3DL(20, 14, 6, 6, 8, 4)
+	if a.N() == c.N() && a.M() == c.M() {
+		t.Log("different seeds coincidentally equal (allowed but unlikely)")
+	}
+}
+
+func TestFrame3DLMaxDegree(t *testing.T) {
+	g := Frame3DL(10, 8, 4, 4, 0, 1)
+	if d := g.MaxDegree(); d > 6 {
+		t.Fatalf("7-point lattice max degree %d > 6", d)
+	}
+}

@@ -1,0 +1,206 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMeshStencils(t *testing.T) {
+	for _, st := range []Stencil{Stencil5, StencilTri, Stencil9, Stencil13} {
+		g := Mesh(10, 8, st, false, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("stencil %d: %v", st, err)
+		}
+		if g.N() != 80 {
+			t.Fatalf("stencil %d: N = %d", st, g.N())
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("stencil %d: disconnected", st)
+		}
+	}
+	// Stencil ordering by density.
+	m5 := Mesh(10, 8, Stencil5, false, 1).M()
+	mt := Mesh(10, 8, StencilTri, false, 1).M()
+	m9 := Mesh(10, 8, Stencil9, false, 1).M()
+	m13 := Mesh(10, 8, Stencil13, false, 1).M()
+	if !(m5 < mt && mt < m9 && m9 < m13) {
+		t.Fatalf("edge counts not ordered: %d %d %d %d", m5, mt, m9, m13)
+	}
+}
+
+func TestMeshWrapIsCylinder(t *testing.T) {
+	flat := Mesh(12, 10, Stencil5, false, 1)
+	wrap := Mesh(12, 10, Stencil5, true, 1)
+	if wrap.M() <= flat.M() {
+		t.Fatalf("wrapped mesh has no extra edges: %d vs %d", wrap.M(), flat.M())
+	}
+	// On a cylinder every vertex of column x=5 has degree 4.
+	for y := 0; y < 10; y++ {
+		if d := wrap.Degree(y*12 + 5); d != 4 {
+			t.Fatalf("cylinder interior degree = %d at y=%d", d, y)
+		}
+	}
+}
+
+func TestShellBlockStructure(t *testing.T) {
+	g := Shell(5, 4, 3, Stencil5, false, 2)
+	if g.N() != 60 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Node-internal cliques: dofs 0,1,2 of node 0 pairwise adjacent.
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if !g.HasEdge(a, b) {
+				t.Fatalf("node-internal dof edge (%d,%d) missing", a, b)
+			}
+		}
+	}
+	// Adjacent nodes fully block-connected: node 0 and node 1.
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if !g.HasEdge(a, 3+b) {
+				t.Fatalf("block edge dof%d-node1dof%d missing", a, b)
+			}
+		}
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("shell disconnected")
+	}
+}
+
+func TestAirfoilProperties(t *testing.T) {
+	g := Airfoil(20, 30, 1.03, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("airfoil disconnected")
+	}
+	// Triangulation-like degrees: average between 4 and 8.
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 3.5 || avg > 8.5 {
+		t.Fatalf("average degree %v out of triangulation range", avg)
+	}
+}
+
+func TestPowerNetSparseConnected(t *testing.T) {
+	g := PowerNet(1723, 672, 4)
+	if !graph.IsConnected(g) {
+		t.Fatal("power network disconnected")
+	}
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 2.0 || avg > 3.6 {
+		t.Fatalf("average degree %v, want ≈2.8", avg)
+	}
+}
+
+func TestSpecsCount(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 18 {
+		t.Fatalf("got %d specs, want 18", len(specs))
+	}
+	if len(SuiteSpecs(SuiteStructural)) != 6 {
+		t.Fatalf("structural suite size wrong")
+	}
+	if len(SuiteSpecs(SuiteMisc)) != 5 {
+		t.Fatalf("misc suite size wrong")
+	}
+	if len(SuiteSpecs(SuiteNASA)) != 7 {
+		t.Fatalf("NASA suite size wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("BARTH4")
+	if !ok || s.PaperN != 6019 {
+		t.Fatalf("ByName(BARTH4) = %+v, %v", s, ok)
+	}
+	if _, ok := ByName("NOPE"); ok {
+		t.Fatal("unknown name found")
+	}
+}
+
+// Every generated problem must be connected, valid, deterministic and match
+// the paper's n within 5% and nnz within 35% at full scale. (Full-scale
+// generation of the largest problems takes a few seconds total.)
+func TestSuiteFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale suite generation in -short mode")
+	}
+	for _, spec := range Specs() {
+		p := spec.Generate(1, 42)
+		g := p.G
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("%s: disconnected", spec.Name)
+		}
+		nErr := relErr(g.N(), spec.PaperN)
+		if nErr > 0.05 {
+			t.Errorf("%s: n = %d vs paper %d (%.1f%% off)", spec.Name, g.N(), spec.PaperN, 100*nErr)
+		}
+		nnzErr := relErr(g.Nonzeros(), spec.PaperNNZ)
+		if nnzErr > 0.35 {
+			t.Errorf("%s: nnz = %d vs paper %d (%.1f%% off)", spec.Name, g.Nonzeros(), spec.PaperNNZ, 100*nnzErr)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := ByName("BLKHOLE")
+	a := spec.Generate(0.5, 7).G
+	b := spec.Generate(0.5, 7).G
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed, different graph size")
+	}
+	for v := 0; v < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatal("same seed, different adjacency")
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("same seed, different adjacency")
+			}
+		}
+	}
+}
+
+func TestScaledGeneration(t *testing.T) {
+	for _, spec := range Specs() {
+		p := spec.Generate(0.1, 1)
+		if p.G.N() == 0 {
+			t.Fatalf("%s: empty at scale 0.1", spec.Name)
+		}
+		if !graph.IsConnected(p.G) {
+			t.Fatalf("%s: disconnected at scale 0.1", spec.Name)
+		}
+		// Should be much smaller than full size.
+		if p.G.N() > spec.PaperN/2 {
+			t.Errorf("%s: scale 0.1 gave n=%d (paper %d)", spec.Name, p.G.N(), spec.PaperN)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	spec, _ := ByName("POW9")
+	spec.Generate(0, 1)
+}
+
+func relErr(got, want int) float64 {
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(want)
+}

@@ -1,0 +1,54 @@
+package graph
+
+import "sort"
+
+// Components returns the connected components of g, each as a sorted slice
+// of vertex labels. Components are ordered by decreasing size, ties broken
+// by smallest contained label, so the ordering is deterministic.
+func Components(g *Graph) [][]int {
+	n := g.N()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := int32(len(comps))
+		comp[s] = id
+		queue = append(queue[:0], int32(s))
+		members := []int{s}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(int(v)) {
+				if comp[w] < 0 {
+					comp[w] = id
+					queue = append(queue, w)
+					members = append(members, int(w))
+				}
+			}
+		}
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	sort.SliceStable(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// IsConnected reports whether g is connected (the empty graph and singleton
+// graphs count as connected).
+func IsConnected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	return NewLevelStructure(g, 0).Size() == g.N()
+}

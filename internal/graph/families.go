@@ -1,0 +1,130 @@
+package graph
+
+import "math/rand"
+
+// This file provides standard graph families. They serve both as
+// convenience constructors for users and as the fixtures with closed-form
+// Laplacian spectra that validate the eigensolver stack (see the tests in
+// internal/lanczos and internal/multilevel).
+
+// Path returns the path graph P_n: 0-1-2-...-(n-1).
+// Its Laplacian has λ2 = 4·sin²(π/2n).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n. λ2 = 2−2cos(2π/n).
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	if n == 2 {
+		b.AddEdge(0, 1)
+		return b.Build()
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n. λ2 = n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with center vertex 0. λ2 = 1.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// Grid returns the nx×ny 5-point grid graph (Cartesian product of two
+// paths), vertex (x,y) labeled y·nx+x. λ2 = min over the two factor paths.
+func Grid(nx, ny int) *Graph {
+	b := NewBuilder(nx * ny)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < ny {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Grid9 returns the nx×ny 9-point grid graph (5-point grid plus diagonals).
+func Grid9(nx, ny int) *Graph {
+	b := NewBuilder(nx * ny)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < ny {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+			if x+1 < nx && y+1 < ny {
+				b.AddEdge(id(x, y), id(x+1, y+1))
+				b.AddEdge(id(x+1, y), id(x, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Grid3D returns the nx×ny×nz 7-point grid graph.
+func Grid3D(nx, ny, nz int) *Graph {
+	b := NewBuilder(nx * ny * nz)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					b.AddEdge(id(x, y, z), id(x+1, y, z))
+				}
+				if y+1 < ny {
+					b.AddEdge(id(x, y, z), id(x, y+1, z))
+				}
+				if z+1 < nz {
+					b.AddEdge(id(x, y, z), id(x, y, z+1))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Random returns a connected random graph on n vertices: a random ancestor
+// tree plus `extra` uniformly random candidate edges (duplicates and
+// self-pairs dropped). Deterministic for a given seed.
+func Random(n, extra int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,90 @@
+package graph
+
+import "testing"
+
+func TestPathFamily(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("P5: N=%d M=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 || g.Degree(4) != 1 {
+		t.Fatal("P5 degrees wrong")
+	}
+	if Path(1).M() != 0 || Path(0).N() != 0 {
+		t.Fatal("degenerate paths wrong")
+	}
+}
+
+func TestCycleFamily(t *testing.T) {
+	g := Cycle(6)
+	if g.M() != 6 {
+		t.Fatalf("C6: M=%d", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("C6 degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+	// C2 degenerates to a single edge, not a double edge.
+	if Cycle(2).M() != 1 {
+		t.Fatalf("C2: M=%d, want 1", Cycle(2).M())
+	}
+	if Cycle(3).M() != 3 {
+		t.Fatal("C3 wrong")
+	}
+}
+
+func TestCompleteAndStarFamilies(t *testing.T) {
+	if Complete(6).M() != 15 {
+		t.Fatal("K6 edge count")
+	}
+	s := Star(7)
+	if s.M() != 6 || s.Degree(0) != 6 || s.Degree(3) != 1 {
+		t.Fatal("Star7 wrong")
+	}
+}
+
+func TestGrid9Family(t *testing.T) {
+	g := Grid9(3, 3)
+	// 5-point edges: 12; diagonals: 2 per cell × 4 cells = 8 → 20 total.
+	if g.M() != 20 {
+		t.Fatalf("Grid9(3,3): M=%d, want 20", g.M())
+	}
+	// Center vertex adjacent to all others.
+	if g.Degree(4) != 8 {
+		t.Fatalf("center degree %d", g.Degree(4))
+	}
+	if !IsConnected(g) {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestGrid3DFamily(t *testing.T) {
+	g := Grid3D(3, 4, 5)
+	if g.N() != 60 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// m = (nx-1)·ny·nz + nx·(ny-1)·nz + nx·ny·(nz-1) = 40+45+48 = 133.
+	if g.M() != 133 {
+		t.Fatalf("M=%d, want 133", g.M())
+	}
+	if !IsConnected(g) {
+		t.Fatal("disconnected")
+	}
+	// Interior vertex degree 6.
+	if g.Degree((2*4+1)*3+1) != 6 {
+		t.Fatalf("interior degree %d", g.Degree((2*4+1)*3+1))
+	}
+}
+
+func TestRandomFamilyConnectivity(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 500} {
+		g := Random(n, n/2, 7)
+		if g.N() != n {
+			t.Fatalf("n=%d: N=%d", n, g.N())
+		}
+		if !IsConnected(g) {
+			t.Fatalf("n=%d: Random graph disconnected", n)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+import "sort"
+
+// PseudoPeripheral finds a pseudo-peripheral vertex of start's connected
+// component using the George–Liu algorithm (the SPARSPAK variant of the
+// procedure in Gibbs–Poole–Stockmeyer): repeatedly root a level structure at
+// a minimum-degree vertex of the deepest level until the eccentricity stops
+// growing. It returns the vertex and its rooted level structure.
+//
+// All of RCM, GPS and GK begin from (an endpoint of) a pseudo-diameter; this
+// is the shared substrate.
+func PseudoPeripheral(g *Graph, start int) (int, *LevelStructure) {
+	r := start
+	ls := NewLevelStructure(g, r)
+	for {
+		last := ls.Level(ls.Depth() - 1)
+		// Minimum-degree vertex of the last level.
+		best := last[0]
+		for _, v := range last[1:] {
+			if g.Degree(int(v)) < g.Degree(int(best)) {
+				best = v
+			}
+		}
+		ls2 := NewLevelStructure(g, int(best))
+		if ls2.Depth() > ls.Depth() {
+			r, ls = int(best), ls2
+			continue
+		}
+		return r, ls
+	}
+}
+
+// PseudoDiameter locates the two endpoints of a pseudo-diameter of start's
+// component following Gibbs–Poole–Stockmeyer: from a pseudo-peripheral
+// vertex u, examine one minimum-degree representative of each degree value
+// in the deepest level ("shrinking" the candidate set as GPS prescribes),
+// rooting a level structure at each; if any is deeper, restart from it;
+// otherwise pick the candidate of minimum width as the far endpoint v.
+//
+// It returns u, v and their rooted level structures.
+func PseudoDiameter(g *Graph, start int) (u, v int, lsU, lsV *LevelStructure) {
+	u, lsU = PseudoPeripheral(g, start)
+	for {
+		last := append([]int32(nil), lsU.Level(lsU.Depth()-1)...)
+		sort.Slice(last, func(i, j int) bool {
+			di, dj := g.Degree(int(last[i])), g.Degree(int(last[j]))
+			if di != dj {
+				return di < dj
+			}
+			return last[i] < last[j]
+		})
+		// Shrink: keep one vertex of each distinct degree.
+		cands := last[:0]
+		prevDeg := -1
+		for _, w := range last {
+			if d := g.Degree(int(w)); d != prevDeg {
+				cands = append(cands, w)
+				prevDeg = d
+			}
+		}
+		bestWidth := int(^uint(0) >> 1)
+		var deeper bool
+		for _, c := range cands {
+			ls := NewLevelStructure(g, int(c))
+			if ls.Depth() > lsU.Depth() {
+				u, lsU = int(c), ls
+				deeper = true
+				break
+			}
+			if w := ls.Width(); w < bestWidth {
+				bestWidth = w
+				v, lsV = int(c), ls
+			}
+		}
+		if !deeper {
+			return u, v, lsU, lsV
+		}
+	}
+}

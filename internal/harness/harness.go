@@ -1,0 +1,227 @@
+// Package harness runs the paper's Section 4 experiments: for each test
+// problem it executes the SPECTRAL, GK, GPS and RCM orderings, measures
+// envelope size, bandwidth and wall-clock ordering time, ranks the
+// algorithms by envelope (the "Rank" column), and formats rows matching
+// Tables 4.1–4.3. It also drives the factorization-time comparison of
+// Table 4.4.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/chol"
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/perm"
+)
+
+// Algorithm names in the paper's table order.
+const (
+	AlgSpectral = "SPECTRAL"
+	AlgGK       = "GK"
+	AlgGPS      = "GPS"
+	AlgRCM      = "RCM"
+)
+
+// OrderFunc computes an ordering of a graph.
+type OrderFunc func(*graph.Graph) (perm.Perm, error)
+
+// Algorithms returns the paper's four contenders in table order. seed
+// drives the spectral solver's randomness.
+func Algorithms(seed int64) []struct {
+	Name string
+	F    OrderFunc
+} {
+	return []struct {
+		Name string
+		F    OrderFunc
+	}{
+		{AlgSpectral, func(g *graph.Graph) (perm.Perm, error) {
+			p, _, err := core.Spectral(g, core.Options{Seed: seed})
+			return p, err
+		}},
+		{AlgGK, wrap(order.GK)},
+		{AlgGPS, wrap(order.GPS)},
+		{AlgRCM, wrap(order.RCM)},
+	}
+}
+
+func wrap(f func(*graph.Graph) perm.Perm) OrderFunc {
+	return func(g *graph.Graph) (perm.Perm, error) { return f(g), nil }
+}
+
+// Row is one line of a Section 4 table: one algorithm on one problem.
+type Row struct {
+	Problem   string
+	Algorithm string
+	Envelope  int64
+	Bandwidth int
+	Seconds   float64
+	Rank      int // 1 = smallest envelope among the four
+}
+
+// ProblemResult gathers the four rows of one problem, in table order.
+type ProblemResult struct {
+	Problem gen.Problem
+	Rows    []Row
+}
+
+// RunProblem executes all four algorithms on the problem and fills in the
+// envelope ranks. Failing algorithms (eigensolver breakdowns) report an
+// error; the paper's algorithms never legitimately fail on connected
+// graphs.
+func RunProblem(p gen.Problem, seed int64) (ProblemResult, error) {
+	res := ProblemResult{Problem: p}
+	for _, alg := range Algorithms(seed) {
+		start := time.Now()
+		o, err := alg.F(p.G)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return res, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
+		}
+		if err := o.Check(); err != nil {
+			return res, fmt.Errorf("harness: %s on %s: invalid ordering: %w", alg.Name, p.Name, err)
+		}
+		s := envelope.Compute(p.G, o)
+		res.Rows = append(res.Rows, Row{
+			Problem:   p.Name,
+			Algorithm: alg.Name,
+			Envelope:  s.Esize,
+			Bandwidth: s.Bandwidth,
+			Seconds:   elapsed,
+		})
+	}
+	rank(res.Rows)
+	return res, nil
+}
+
+// rank assigns 1..k by increasing envelope (ties share the earlier order,
+// matching the paper's distinct ranks via stable ordering).
+func rank(rows []Row) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rows[idx[a]].Envelope < rows[idx[b]].Envelope })
+	for r, i := range idx {
+		rows[i].Rank = r + 1
+	}
+}
+
+// RunSuite runs every problem of a suite at the given scale.
+func RunSuite(suite string, scale float64, seed int64) ([]ProblemResult, error) {
+	var out []ProblemResult
+	for _, spec := range gen.SuiteSpecs(suite) {
+		p := spec.Generate(scale, seed)
+		r, err := RunProblem(p, seed)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteTable formats results in the layout of Tables 4.1–4.3.
+func WriteTable(w io.Writer, title string, results []ProblemResult) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	line := strings.Repeat("-", 78)
+	fmt.Fprintln(w, line)
+	fmt.Fprintf(w, "%-12s %14s %10s %10s  %-9s %4s\n",
+		"Title", "Envelope", "Bandwidth", "Run time", "Algorithm", "Rank")
+	fmt.Fprintf(w, "%-12s %14s %10s %10s\n", "(equations)", "", "", "(sec)")
+	fmt.Fprintf(w, "%-12s\n", "(nonzeros)")
+	fmt.Fprintln(w, line)
+	for _, pr := range results {
+		g := pr.Problem.G
+		hdr := []string{
+			pr.Problem.Name,
+			fmt.Sprintf("(%d)", g.N()),
+			fmt.Sprintf("(%d)", g.Nonzeros()),
+			"",
+		}
+		for i, row := range pr.Rows {
+			fmt.Fprintf(w, "%-12s %14d %10d %10.2f  %-9s %4d\n",
+				hdr[i], row.Envelope, row.Bandwidth, row.Seconds, row.Algorithm, row.Rank)
+		}
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
+// FactorRow is one line of Table 4.4.
+type FactorRow struct {
+	Problem   string
+	Algorithm string
+	Envelope  int64
+	Seconds   float64
+	Flops     int64
+}
+
+// RunFactorization reproduces one Table 4.4 pair: order the problem with
+// SPECTRAL and RCM, assemble the SPD model matrix L+I under each ordering,
+// and time the envelope Cholesky factorization.
+func RunFactorization(p gen.Problem, seed int64) ([]FactorRow, error) {
+	algs := Algorithms(seed)
+	var rows []FactorRow
+	for _, alg := range algs {
+		if alg.Name != AlgSpectral && alg.Name != AlgRCM {
+			continue
+		}
+		o, err := alg.F(p.G)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
+		}
+		m, err := chol.NewMatrix(p.G, o, chol.LaplacianPlusIdentity(p.G))
+		if err != nil {
+			return nil, err
+		}
+		esize := m.EnvelopeSize()
+		start := time.Now()
+		f, err := chol.Factorize(m)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return nil, fmt.Errorf("harness: factorizing %s/%s: %w", p.Name, alg.Name, err)
+		}
+		rows = append(rows, FactorRow{
+			Problem:   p.Name,
+			Algorithm: alg.Name,
+			Envelope:  esize,
+			Seconds:   elapsed,
+			Flops:     f.Flops(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteFactorTable formats Table 4.4.
+func WriteFactorTable(w io.Writer, rows []FactorRow) error {
+	fmt.Fprintln(w, "Table 4.4: Factorization times")
+	line := strings.Repeat("-", 66)
+	fmt.Fprintln(w, line)
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %-9s\n", "Title", "Envelope", "Factor time", "Flops", "Algorithm")
+	fmt.Fprintf(w, "%-10s %14s %14s\n", "", "", "(sec)")
+	fmt.Fprintln(w, line)
+	last := ""
+	for _, r := range rows {
+		name := r.Problem
+		if name == last {
+			name = ""
+		} else if last != "" {
+			fmt.Fprintln(w, line)
+		}
+		last = r.Problem
+		fmt.Fprintf(w, "%-10s %14d %14.3f %14d %-9s\n", name, r.Envelope, r.Seconds, r.Flops, r.Algorithm)
+	}
+	fmt.Fprintln(w, line)
+	return nil
+}

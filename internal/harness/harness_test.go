@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func smallProblem(t *testing.T, name string) gen.Problem {
+	t.Helper()
+	spec, ok := gen.ByName(name)
+	if !ok {
+		t.Fatalf("unknown problem %s", name)
+	}
+	return spec.Generate(0.08, 42)
+}
+
+func TestRunProblemRanks(t *testing.T) {
+	p := smallProblem(t, "DWT2680")
+	res, err := RunProblem(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// Ranks are a permutation of 1..4 consistent with envelope order.
+	seen := map[int]bool{}
+	for _, r := range res.Rows {
+		if r.Rank < 1 || r.Rank > 4 || seen[r.Rank] {
+			t.Fatalf("bad rank set: %+v", res.Rows)
+		}
+		seen[r.Rank] = true
+	}
+	for _, a := range res.Rows {
+		for _, b := range res.Rows {
+			if a.Rank < b.Rank && a.Envelope > b.Envelope {
+				t.Fatalf("rank inversion: %+v vs %+v", a, b)
+			}
+		}
+	}
+	// Algorithms in paper order.
+	wantOrder := []string{AlgSpectral, AlgGK, AlgGPS, AlgRCM}
+	for i, r := range res.Rows {
+		if r.Algorithm != wantOrder[i] {
+			t.Fatalf("row %d algorithm %s, want %s", i, r.Algorithm, wantOrder[i])
+		}
+	}
+}
+
+func TestRunSuiteSmallScale(t *testing.T) {
+	results, err := RunSuite(gen.SuiteMisc, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d problems", len(results))
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, "Table 4.2 (scaled)", results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"CAN1072", "POW9", "BLKHOLE", "DWT2680", "SSTMODEL"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table missing %s", name)
+		}
+	}
+	for _, alg := range []string{AlgSpectral, AlgGK, AlgGPS, AlgRCM} {
+		if !strings.Contains(out, alg) {
+			t.Errorf("table missing %s", alg)
+		}
+	}
+}
+
+func TestRunFactorization(t *testing.T) {
+	p := smallProblem(t, "BARTH4")
+	rows, err := RunFactorization(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want SPECTRAL and RCM", len(rows))
+	}
+	if rows[0].Algorithm != AlgSpectral || rows[1].Algorithm != AlgRCM {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Envelope <= 0 || r.Flops <= 0 {
+			t.Fatalf("degenerate factor row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFactorTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Factor time") {
+		t.Fatal("factor table header missing")
+	}
+}
+
+// The central claim of the paper, at reduced scale: on the airfoil mesh the
+// spectral ordering produces a smaller envelope than RCM.
+func TestSpectralBeatsRCMOnAirfoil(t *testing.T) {
+	spec, _ := gen.ByName("BARTH4")
+	p := spec.Generate(0.25, 7)
+	res, err := RunProblem(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spectral, rcm int64
+	for _, r := range res.Rows {
+		switch r.Algorithm {
+		case AlgSpectral:
+			spectral = r.Envelope
+		case AlgRCM:
+			rcm = r.Envelope
+		}
+	}
+	if spectral >= rcm {
+		t.Fatalf("spectral envelope %d not below RCM %d on airfoil", spectral, rcm)
+	}
+}
+
+// GPS should give the best (or near-best) bandwidth — the paper's repeated
+// observation.
+func TestGPSBandwidthBeatsSpectral(t *testing.T) {
+	spec, _ := gen.ByName("BARTH4")
+	p := spec.Generate(0.25, 7)
+	res, err := RunProblem(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spectralBW, gpsBW int
+	for _, r := range res.Rows {
+		switch r.Algorithm {
+		case AlgSpectral:
+			spectralBW = r.Bandwidth
+		case AlgGPS:
+			gpsBW = r.Bandwidth
+		}
+	}
+	if gpsBW >= spectralBW {
+		t.Fatalf("GPS bandwidth %d not below spectral %d", gpsBW, spectralBW)
+	}
+}

@@ -1,0 +1,273 @@
+package iccg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chol"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/order"
+	"repro/internal/perm"
+)
+
+func lapPlusI(g *graph.Graph) chol.ValueFn { return chol.LaplacianPlusIdentity(g) }
+
+func TestSparseSymApplyMatchesEnvelope(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.Random(30, 60, seed)
+		p := perm.Random(30, seed+9)
+		vals := lapPlusI(g)
+		a, err := NewSparseSym(g, p, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := chol.NewMatrix(g, p, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, 30)
+		for i := range x {
+			x[i] = math.Sin(float64(i) + float64(seed))
+		}
+		y1 := make([]float64, 30)
+		y2 := make([]float64, 30)
+		a.Apply(x, y1)
+		e.MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12 {
+				t.Fatalf("seed %d: Apply mismatch at %d: %v vs %v", seed, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestRowsSortedByColumn(t *testing.T) {
+	g := graph.Random(40, 90, 3)
+	a, err := NewSparseSym(g, perm.Random(40, 4), lapPlusI(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.n; i++ {
+		for k := a.rowptr[i] + 1; k < a.rowptr[i+1]; k++ {
+			if a.cols[k-1] >= a.cols[k] {
+				t.Fatalf("row %d not strictly sorted", i)
+			}
+			if a.cols[k] >= int32(i) {
+				t.Fatalf("row %d has non-strictly-lower column %d", i, a.cols[k])
+			}
+		}
+	}
+}
+
+// On a tree (no fill under any elimination order given the pattern is the
+// tree itself... specifically a path with the natural order) IC(0) is the
+// exact Cholesky factor, so the preconditioned system solves in one
+// iteration.
+func TestIC0ExactOnPath(t *testing.T) {
+	g := graph.Path(50)
+	a, err := NewSparseSym(g, perm.Identity(50), lapPlusI(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FactorizeIC0(a, IC0Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 50)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x := make([]float64, 50)
+	res := PCG(a, f, b, x, PCGOptions{Tol: 1e-12})
+	if !res.Converged || res.Iterations > 2 {
+		t.Fatalf("path PCG took %d iterations (converged=%v)", res.Iterations, res.Converged)
+	}
+}
+
+func TestIC0FactorEquation(t *testing.T) {
+	// (LLᵀ)ᵢⱼ must equal Aᵢⱼ on the pattern (including the diagonal).
+	g := graph.Grid(6, 5)
+	p := order.RCM(g)
+	a, err := NewSparseSym(g, p, lapPlusI(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FactorizeIC0(a, IC0Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := f.m
+	// Dense L for verification.
+	n := a.n
+	dl := linalg.NewDense(n)
+	for i := 0; i < n; i++ {
+		dl.Set(i, i, L.diag[i])
+		for k := L.rowptr[i]; k < L.rowptr[i+1]; k++ {
+			dl.Set(i, int(L.cols[k]), L.vals[k])
+		}
+	}
+	prod := func(i, j int) float64 {
+		var s float64
+		for k := 0; k <= j; k++ {
+			s += dl.At(i, k) * dl.At(j, k)
+		}
+		return s
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(prod(i, i)-a.diag[i]) > 1e-10 {
+			t.Fatalf("diagonal %d: %v vs %v", i, prod(i, i), a.diag[i])
+		}
+		for k := a.rowptr[i]; k < a.rowptr[i+1]; k++ {
+			j := int(a.cols[k])
+			if math.Abs(prod(i, j)-a.vals[k]) > 1e-10 {
+				t.Fatalf("pattern entry (%d,%d): %v vs %v", i, j, prod(i, j), a.vals[k])
+			}
+		}
+	}
+}
+
+func TestPCGUnpreconditioned(t *testing.T) {
+	g := graph.Grid(10, 10)
+	a, _ := NewSparseSym(g, perm.Identity(100), lapPlusI(g))
+	b := make([]float64, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 100)
+	res := PCG(a, nil, b, x, PCGOptions{Tol: 1e-10})
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	ax := make([]float64, 100)
+	a.Apply(x, ax)
+	linalg.Axpy(-1, b, ax)
+	if r := linalg.Nrm2(ax) / linalg.Nrm2(b); r > 1e-9 {
+		t.Fatalf("true residual %v", r)
+	}
+}
+
+func TestPreconditioningReducesIterations(t *testing.T) {
+	g := graph.Grid(30, 30)
+	a, _ := NewSparseSym(g, order.RCM(g), lapPlusI(g))
+	b := make([]float64, g.N())
+	rng := rand.New(rand.NewSource(2))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, g.N())
+	plain := PCG(a, nil, b, x, PCGOptions{Tol: 1e-10})
+	f, err := FactorizeIC0(a, IC0Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := PCG(a, f, b, x, PCGOptions{Tol: 1e-10})
+	if !plain.Converged || !pre.Converged {
+		t.Fatalf("convergence failure: %+v %+v", plain, pre)
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Fatalf("IC(0) did not help: %d vs %d iterations", pre.Iterations, plain.Iterations)
+	}
+}
+
+// The §1 claim: ordering affects the quality of the IC(0) preconditioner.
+// A random ordering must need at least as many PCG iterations as RCM
+// (Duff & Meurant 1989).
+func TestOrderingAffectsPreconditionerQuality(t *testing.T) {
+	g := graph.Grid9(25, 25)
+	vals := lapPlusI(g)
+	b := make([]float64, g.N())
+	rng := rand.New(rand.NewSource(3))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	iters := func(p perm.Perm) int {
+		a, err := NewSparseSym(g, p, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := FactorizeIC0(a, IC0Options{MaxShiftRetries: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Permute b to the ordering's positions.
+		pb := make([]float64, len(b))
+		for i, v := range p {
+			pb[i] = b[v]
+		}
+		x := make([]float64, len(b))
+		res := PCG(a, f, pb, x, PCGOptions{Tol: 1e-10})
+		if !res.Converged {
+			t.Fatalf("PCG diverged")
+		}
+		return res.Iterations
+	}
+	random := iters(perm.Random(g.N(), 5))
+	rcm := iters(order.RCM(g))
+	if rcm > random {
+		t.Fatalf("RCM-ordered IC(0) worse than random: %d vs %d iterations", rcm, random)
+	}
+}
+
+func TestIC0BreakdownAndShiftRetry(t *testing.T) {
+	// A matrix engineered to break IC(0): strong negative off-diagonals
+	// exceeding the diagonal. With retries the shifted factorization must
+	// succeed.
+	g := graph.Complete(6)
+	vals := func(u, v int) float64 {
+		if u == v {
+			return 1.0 // far from diagonally dominant: Σ|offdiag| = 10
+		}
+		return -2
+	}
+	a, err := NewSparseSym(g, perm.Identity(6), vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FactorizeIC0(a, IC0Options{}); err == nil {
+		t.Skip("expected breakdown did not occur; matrix unexpectedly factorable")
+	}
+	if _, err := FactorizeIC0(a, IC0Options{MaxShiftRetries: 40}); err != nil {
+		t.Fatalf("shift retries failed: %v", err)
+	}
+}
+
+func TestPCGZeroRHS(t *testing.T) {
+	g := graph.Path(5)
+	a, _ := NewSparseSym(g, perm.Identity(5), lapPlusI(g))
+	x := []float64{1, 1, 1, 1, 1}
+	res := PCG(a, nil, make([]float64, 5), x, PCGOptions{})
+	if !res.Converged || linalg.Nrm2(x) != 0 {
+		t.Fatalf("zero rhs mishandled: %+v %v", res, x)
+	}
+}
+
+func TestNewSparseSymRejectsBadOrdering(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := NewSparseSym(g, perm.Perm{0, 1, 1, 2}, lapPlusI(g)); err == nil {
+		t.Fatal("invalid ordering accepted")
+	}
+	if _, err := NewSparseSym(g, perm.Identity(5), lapPlusI(g)); err == nil {
+		t.Fatal("wrong-length ordering accepted")
+	}
+}
+
+func BenchmarkIC0PCGGrid(b *testing.B) {
+	g := graph.Grid(60, 60)
+	a, _ := NewSparseSym(g, order.RCM(g), lapPlusI(g))
+	f, err := FactorizeIC0(a, IC0Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, g.N())
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	x := make([]float64, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PCG(a, f, rhs, x, PCGOptions{Tol: 1e-8})
+	}
+}

@@ -1,0 +1,182 @@
+package lanczos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/laplacian"
+	"repro/internal/linalg"
+)
+
+func fiedlerOf(t *testing.T, g *graph.Graph) Result {
+	t.Helper()
+	op := laplacian.New(g)
+	res, err := Fiedler(op, op.GershgorinBound(), Options{})
+	if err != nil {
+		t.Fatalf("Fiedler: %v", err)
+	}
+	return res
+}
+
+func TestPathClosedForm(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 16, 61, 200} {
+		g := graph.Path(n)
+		res := fiedlerOf(t, g)
+		want := 4 * math.Pow(math.Sin(math.Pi/(2*float64(n))), 2)
+		if math.Abs(res.Lambda-want) > 1e-6*(1+want) {
+			t.Errorf("P%d: λ2 = %v, want %v", n, res.Lambda, want)
+		}
+	}
+}
+
+func TestCycleClosedForm(t *testing.T) {
+	for _, n := range []int{3, 4, 10, 47} {
+		g := graph.Cycle(n)
+		res := fiedlerOf(t, g)
+		want := 2 - 2*math.Cos(2*math.Pi/float64(n))
+		if math.Abs(res.Lambda-want) > 1e-6*(1+want) {
+			t.Errorf("C%d: λ2 = %v, want %v", n, res.Lambda, want)
+		}
+	}
+}
+
+func TestCompleteAndStar(t *testing.T) {
+	if res := fiedlerOf(t, graph.Complete(9)); math.Abs(res.Lambda-9) > 1e-6 {
+		t.Errorf("K9: λ2 = %v, want 9", res.Lambda)
+	}
+	if res := fiedlerOf(t, graph.Star(12)); math.Abs(res.Lambda-1) > 1e-6 {
+		t.Errorf("Star12: λ2 = %v, want 1", res.Lambda)
+	}
+}
+
+func TestGridProductRule(t *testing.T) {
+	// λ2(P_a × P_b) = min(λ2(P_a), λ2(P_b)).
+	g := graph.Grid(9, 4)
+	res := fiedlerOf(t, g)
+	want := 4 * math.Pow(math.Sin(math.Pi/18), 2)
+	if math.Abs(res.Lambda-want) > 1e-6*(1+want) {
+		t.Errorf("Grid9x4: λ2 = %v, want %v", res.Lambda, want)
+	}
+}
+
+func TestVectorProperties(t *testing.T) {
+	g := graph.Grid(8, 5)
+	res := fiedlerOf(t, g)
+	// Unit norm, orthogonal to ones, small residual.
+	if math.Abs(linalg.Nrm2(res.Vector)-1) > 1e-8 {
+		t.Errorf("‖x‖ = %v", linalg.Nrm2(res.Vector))
+	}
+	var sum float64
+	for _, v := range res.Vector {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-8 {
+		t.Errorf("1ᵀx = %v", sum)
+	}
+	op := laplacian.New(g)
+	if rq := op.RayleighQuotient(res.Vector); math.Abs(rq-res.Lambda) > 1e-8 {
+		t.Errorf("RQ %v vs λ %v", rq, res.Lambda)
+	}
+}
+
+func TestMatchesDenseEigensolver(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.Random(40, 70, seed)
+		eig, _ := linalg.SymEig(laplacian.Dense(g))
+		res := fiedlerOf(t, g)
+		if math.Abs(res.Lambda-eig[1]) > 1e-6*(1+eig[1]) {
+			t.Errorf("seed %d: Lanczos λ2 = %v, dense = %v", seed, res.Lambda, eig[1])
+		}
+	}
+}
+
+// The Fiedler vector of a path is monotone (it is cos((k+1/2)π/n)), so the
+// spectral ordering recovers the natural ordering of the path. This is the
+// smallest end-to-end sanity check of the paper's whole premise.
+func TestPathVectorMonotone(t *testing.T) {
+	g := graph.Path(31)
+	res := fiedlerOf(t, g)
+	x := res.Vector
+	increasing, decreasing := true, true
+	for i := 1; i < len(x); i++ {
+		if x[i] < x[i-1] {
+			increasing = false
+		}
+		if x[i] > x[i-1] {
+			decreasing = false
+		}
+	}
+	if !increasing && !decreasing {
+		t.Fatalf("path Fiedler vector not monotone: %v", x[:8])
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := graph.Grid(6, 6)
+	op := laplacian.New(g)
+	a, err := Fiedler(op, op.GershgorinBound(), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fiedler(op, op.GershgorinBound(), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Vector {
+		if a.Vector[i] != b.Vector[i] {
+			t.Fatal("same seed produced different vectors")
+		}
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	// n=1: λ=0 by convention.
+	op := laplacian.New(graph.NewBuilder(1).Build())
+	res, err := Fiedler(op, 1, Options{})
+	if err != nil || res.Lambda != 0 {
+		t.Fatalf("n=1: %v %v", res, err)
+	}
+	// n=2 path: λ2 = 2.
+	res = fiedlerOf(t, graph.Path(2))
+	if math.Abs(res.Lambda-2) > 1e-9 {
+		t.Fatalf("P2: λ2 = %v", res.Lambda)
+	}
+}
+
+func TestNotConvergedStillUsable(t *testing.T) {
+	// Starve the solver: one restart with a tiny basis on a big slow graph.
+	g := graph.Path(4000)
+	op := laplacian.New(g)
+	res, err := Fiedler(op, op.GershgorinBound(), Options{MaxBasis: 5, MaxRestarts: 1, Tol: 1e-12})
+	if err == nil {
+		t.Skip("unexpectedly converged; nothing to test")
+	}
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("wrong error type: %v", err)
+	}
+	if len(res.Vector) != g.N() || linalg.Nrm2(res.Vector) == 0 {
+		t.Fatal("no usable vector returned with ErrNotConverged")
+	}
+}
+
+func TestMediumGraphConvergence(t *testing.T) {
+	g := graph.Grid(40, 25) // n=1000
+	res := fiedlerOf(t, g)
+	want := 4 * math.Pow(math.Sin(math.Pi/80), 2)
+	if math.Abs(res.Lambda-want) > 1e-5*(1+want) {
+		t.Errorf("Grid40x25: λ2 = %v, want %v", res.Lambda, want)
+	}
+}
+
+func BenchmarkFiedlerGrid(b *testing.B) {
+	g := graph.Grid(50, 50)
+	op := laplacian.New(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fiedler(op, op.GershgorinBound(), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

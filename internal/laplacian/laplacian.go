@@ -1,0 +1,125 @@
+// Package laplacian implements the discrete Laplacian matrix Q(G) = D − B
+// of §2.2 of the paper as an implicit operator over the adjacency graph,
+// together with the spectral bounds of Theorem 2.2.
+//
+// Q is symmetric positive semidefinite with Q·1 = 0; for a connected graph
+// the second smallest eigenvalue λ2 is positive and its eigenvector is the
+// Fiedler vector that drives the spectral ordering.
+package laplacian
+
+import (
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// Op is the Laplacian of a graph as a linalg.Operator. Apply costs
+// O(n + m) and vectorizes trivially — the property the paper highlights
+// when contrasting the spectral algorithm with the BFS-based orderings.
+type Op struct {
+	G   *graph.Graph
+	deg []float64
+}
+
+// New returns the Laplacian operator of g, precomputing degrees.
+func New(g *graph.Graph) *Op {
+	deg := make([]float64, g.N())
+	for v := range deg {
+		deg[v] = float64(g.Degree(v))
+	}
+	return &Op{G: g, deg: deg}
+}
+
+// Dim returns the number of vertices.
+func (o *Op) Dim() int { return o.G.N() }
+
+// Apply computes y = L·x with y[v] = deg(v)·x[v] − Σ_{w∼v} x[w].
+func (o *Op) Apply(x, y []float64) {
+	g := o.G
+	for v := 0; v < g.N(); v++ {
+		s := o.deg[v] * x[v]
+		for _, w := range g.Neighbors(v) {
+			s -= x[w]
+		}
+		y[v] = s
+	}
+}
+
+// RayleighQuotient returns xᵀLx / xᵀx, using the edge form
+// xᵀLx = Σ_{(u,v)∈E} (x_u − x_v)², which is exact and cheaper than a
+// matvec plus dot product.
+func (o *Op) RayleighQuotient(x []float64) float64 {
+	g := o.G
+	var num float64
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v {
+				d := x[v] - x[w]
+				num += d * d
+			}
+		}
+	}
+	den := linalg.Dot(x, x)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// GershgorinBound returns 2·Δ, an upper bound on the largest Laplacian
+// eigenvalue λn (row sums of |L| are at most 2·deg).
+func (o *Op) GershgorinBound() float64 {
+	return 2 * float64(o.G.MaxDegree())
+}
+
+// Dense materializes L as a dense matrix — only for small graphs (tests,
+// the coarsest multilevel level).
+func Dense(g *graph.Graph) *linalg.Dense {
+	n := g.N()
+	m := linalg.NewDense(n)
+	for v := 0; v < n; v++ {
+		m.Set(v, v, float64(g.Degree(v)))
+		for _, w := range g.Neighbors(v) {
+			m.Set(v, int(w), -1)
+		}
+	}
+	return m
+}
+
+// Bounds holds the Theorem 2.2 bounds on the minimum envelope size and
+// minimum envelope work in terms of λ2 and λn.
+type Bounds struct {
+	EsizeLower, EsizeUpper float64
+	EworkLower, EworkUpper float64
+}
+
+// Theorem22 evaluates eigenvalue bounds on the minimum envelope size and
+// minimum envelope work in the spirit of Theorem 2.2. The scanned paper's
+// prefactors are illegible, so we use the variants provable from the
+// quadratic-assignment argument of §2.3. Write ℓ = n(n²−1)/12 (the squared
+// norm of the centered permutation vectors for odd n, a lower bound on it
+// for even n) and Δ = max degree. For every permutation vector p ⊥ 1:
+//
+//	λ2·ℓ ≤ pᵀLp = σ2(p) ≤ λn·n(n+1)(n+2)/12
+//
+// combined with Theorem 2.1's per-ordering sandwiches
+// (Ework ≤ σ2 ≤ Δ·Ework, Esize ≤ σ1 ≤ σ2, σ1 ≥ σ2/(n−1)) gives
+//
+//	Ework_min ≥ λ2·ℓ/Δ            Ework_min ≤ λn·n(n+1)(n+2)/12
+//	Esize_min ≥ λ2·n(n+1)/(12Δ)   Esize_min ≤ λn·n(n+1)(n+2)/12
+//
+// The lower bounds indicate how close a computed ordering is to optimal.
+func Theorem22(n int, maxDeg int, lambda2, lambdaN float64) Bounds {
+	fn := float64(n)
+	ell := fn * (fn*fn - 1) / 12
+	upper := lambdaN * fn * (fn + 1) * (fn + 2) / 12
+	d := float64(maxDeg)
+	if d == 0 {
+		d = 1
+	}
+	return Bounds{
+		EsizeLower: lambda2 * fn * (fn + 1) / (12 * d),
+		EsizeUpper: upper,
+		EworkLower: lambda2 * ell / d,
+		EworkUpper: upper,
+	}
+}

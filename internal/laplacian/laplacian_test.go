@@ -1,0 +1,154 @@
+package laplacian
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/envelope"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+func TestApplyMatchesDense(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Random(25, 40, seed)
+		op := New(g)
+		d := Dense(g)
+		x := make([]float64, g.N())
+		for i := range x {
+			x[i] = math.Sin(float64(i)*1.7 + float64(seed))
+		}
+		y1 := make([]float64, g.N())
+		y2 := make([]float64, g.N())
+		op.Apply(x, y1)
+		d.MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12 {
+				t.Fatalf("seed %d: Apply mismatch at %d: %v vs %v", seed, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestNullVector(t *testing.T) {
+	g := graph.Grid(5, 4)
+	op := New(g)
+	x := make([]float64, g.N())
+	linalg.Fill(x, 3.25)
+	y := make([]float64, g.N())
+	op.Apply(x, y)
+	if n := linalg.Nrm2(y); n > 1e-12 {
+		t.Fatalf("L·1 = %v ≠ 0", n)
+	}
+}
+
+func TestRayleighQuotientMatchesQuadForm(t *testing.T) {
+	g := graph.Random(30, 60, 3)
+	op := New(g)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, g.N())
+	op.Apply(x, y)
+	want := linalg.Dot(x, y) / linalg.Dot(x, x)
+	got := op.RayleighQuotient(x)
+	if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+		t.Fatalf("RQ = %v, want %v", got, want)
+	}
+}
+
+func TestRayleighQuotientZeroVector(t *testing.T) {
+	g := graph.Path(4)
+	if rq := New(g).RayleighQuotient(make([]float64, 4)); rq != 0 {
+		t.Fatalf("RQ of zero vector = %v", rq)
+	}
+}
+
+func TestSpectrumKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name        string
+		g           *graph.Graph
+		wantLambda2 float64
+	}{
+		{"P8", graph.Path(8), 4 * math.Pow(math.Sin(math.Pi/16), 2)},
+		{"C10", graph.Cycle(10), 2 - 2*math.Cos(2*math.Pi/10)},
+		{"K6", graph.Complete(6), 6},
+		{"Star9", graph.Star(9), 1},
+		{"Grid4x3", graph.Grid(4, 3), 4 * math.Pow(math.Sin(math.Pi/8), 2)},
+	}
+	for _, tc := range cases {
+		eig, _ := linalg.SymEig(Dense(tc.g))
+		if math.Abs(eig[0]) > 1e-10 {
+			t.Errorf("%s: λ1 = %v ≠ 0", tc.name, eig[0])
+		}
+		if math.Abs(eig[1]-tc.wantLambda2) > 1e-9 {
+			t.Errorf("%s: λ2 = %v, want %v", tc.name, eig[1], tc.wantLambda2)
+		}
+	}
+}
+
+func TestGershgorinBound(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.Random(18, 30, seed)
+		eig, _ := linalg.SymEig(Dense(g))
+		bound := New(g).GershgorinBound()
+		if eig[len(eig)-1] > bound+1e-9 {
+			t.Fatalf("seed %d: λn = %v > Gershgorin %v", seed, eig[len(eig)-1], bound)
+		}
+	}
+}
+
+// Theorem 2.2 sandwich versus the exhaustive optimum on tiny graphs.
+func TestTheorem22AgainstExhaustive(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(6),
+		graph.Cycle(6),
+		graph.Complete(5),
+		graph.Star(6),
+		graph.Grid(3, 2),
+		graph.Random(7, 8, 1),
+	}
+	for gi, g := range graphs {
+		if !graph.IsConnected(g) {
+			t.Fatalf("case %d disconnected", gi)
+		}
+		eig, _ := linalg.SymEig(Dense(g))
+		n := g.N()
+		b := Theorem22(n, g.MaxDegree(), eig[1], eig[n-1])
+		minEsize, minEwork := envelope.ExhaustiveMin(g)
+		if float64(minEsize) < b.EsizeLower-1e-9 {
+			t.Errorf("case %d: Esize_min %d < lower bound %v", gi, minEsize, b.EsizeLower)
+		}
+		if float64(minEsize) > b.EsizeUpper+1e-9 {
+			t.Errorf("case %d: Esize_min %d > upper bound %v", gi, minEsize, b.EsizeUpper)
+		}
+		if float64(minEwork) < b.EworkLower-1e-9 {
+			t.Errorf("case %d: Ework_min %d < lower bound %v", gi, minEwork, b.EworkLower)
+		}
+		if float64(minEwork) > b.EworkUpper+1e-9 {
+			t.Errorf("case %d: Ework_min %d > upper bound %v", gi, minEwork, b.EworkUpper)
+		}
+	}
+}
+
+func TestTheorem22ZeroDegreeGuard(t *testing.T) {
+	b := Theorem22(3, 0, 0, 0)
+	if math.IsNaN(b.EsizeLower) || math.IsInf(b.EsizeLower, 0) {
+		t.Fatal("degenerate bounds")
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	g := graph.Grid(200, 200)
+	op := New(g)
+	x := make([]float64, g.N())
+	y := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(x, y)
+	}
+}

@@ -1,0 +1,105 @@
+package laplacian
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		g := graph.Grid(120, 110) // big enough to engage multiple workers
+		op := New(g)
+		pop := NewParallelOp(op, workers)
+		if pop.Dim() != g.N() {
+			t.Fatalf("dim mismatch")
+		}
+		n := g.N()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(float64(i) * 0.37)
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		op.Apply(x, y1)
+		pop.Apply(x, y2)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("workers=%d: mismatch at %d: %v vs %v", workers, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestParallelSmallGraphFallsBack(t *testing.T) {
+	g := graph.Grid(10, 10)
+	pop := NewParallelOp(New(g), 8)
+	if pop.workers != 1 {
+		t.Fatalf("small graph got %d workers", pop.workers)
+	}
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	x[5] = 1
+	pop.Apply(x, y) // must not panic
+	if y[5] == 0 {
+		t.Fatal("apply did nothing")
+	}
+}
+
+func TestParallelPartitionCoversAllRows(t *testing.T) {
+	g := graph.Random(50000, 100000, 1)
+	pop := NewParallelOp(New(g), 6)
+	if pop.starts[0] != 0 || pop.starts[len(pop.starts)-1] != g.N() {
+		t.Fatalf("partition endpoints wrong: %v", pop.starts)
+	}
+	for w := 1; w < len(pop.starts); w++ {
+		if pop.starts[w] < pop.starts[w-1] {
+			t.Fatalf("partition not monotone: %v", pop.starts)
+		}
+	}
+}
+
+func TestParallelDelegates(t *testing.T) {
+	g := graph.Grid(60, 60)
+	op := New(g)
+	pop := NewParallelOp(op, 2)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i % 11)
+	}
+	if pop.RayleighQuotient(x) != op.RayleighQuotient(x) {
+		t.Fatal("RayleighQuotient differs")
+	}
+	if pop.GershgorinBound() != op.GershgorinBound() {
+		t.Fatal("GershgorinBound differs")
+	}
+}
+
+func BenchmarkApplySerial(b *testing.B) {
+	g := graph.Grid3D(80, 80, 40)
+	op := New(g)
+	x := make([]float64, g.N())
+	y := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(x, y)
+	}
+}
+
+func BenchmarkApplyParallel(b *testing.B) {
+	g := graph.Grid3D(80, 80, 40)
+	op := NewParallelOp(New(g), 0)
+	x := make([]float64, g.N())
+	y := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(x, y)
+	}
+}

@@ -1,0 +1,160 @@
+package linalg
+
+import "math"
+
+// Operator is a symmetric linear operator y = A·x. Implementations include
+// the graph Laplacian (internal/laplacian) and its shifted form L − σI used
+// by Rayleigh Quotient Iteration.
+type Operator interface {
+	// Dim returns the dimension n.
+	Dim() int
+	// Apply computes y = A·x; x and y have length Dim() and do not alias.
+	Apply(x, y []float64)
+}
+
+// OpFunc adapts a function to the Operator interface.
+type OpFunc struct {
+	N int
+	F func(x, y []float64)
+}
+
+func (o OpFunc) Dim() int             { return o.N }
+func (o OpFunc) Apply(x, y []float64) { o.F(x, y) }
+
+// ShiftedOp wraps an Operator as A − σI. RQI solves systems with this
+// operator, which is symmetric indefinite when σ sits inside the spectrum —
+// the reason MINRES rather than CG is used.
+type ShiftedOp struct {
+	A     Operator
+	Sigma float64
+}
+
+func (s ShiftedOp) Dim() int { return s.A.Dim() }
+
+func (s ShiftedOp) Apply(x, y []float64) {
+	s.A.Apply(x, y)
+	if s.Sigma != 0 {
+		Axpy(-s.Sigma, x, y)
+	}
+}
+
+// MINRESResult reports the outcome of a MINRES solve.
+type MINRESResult struct {
+	Iterations int
+	// Residual is the final estimated ‖b − A·x‖.
+	Residual float64
+	// Converged is true when Residual ≤ Tol·‖b‖ was reached within MaxIter.
+	Converged bool
+}
+
+// MINRESOptions configures MINRES.
+type MINRESOptions struct {
+	// Tol is the relative residual tolerance (default 1e-10).
+	Tol float64
+	// MaxIter caps the iterations (default 2n).
+	MaxIter int
+	// ProjectOnes, when set, keeps iterates orthogonal to the constant
+	// vector. RQI on a Laplacian works entirely in 1⊥, where L − σI is
+	// nonsingular even though L itself is singular.
+	ProjectOnes bool
+}
+
+// MINRES solves A·x = b for symmetric (possibly indefinite) A using the
+// Paige–Saunders minimum-residual method. x is the output vector (its
+// initial content is ignored; the zero initial guess is used).
+//
+// This is the inner solver of Rayleigh Quotient Iteration in the multilevel
+// Fiedler computation (the role SYMMLQ plays in Barnard–Simon's original
+// implementation).
+func MINRES(A Operator, b []float64, x []float64, opt MINRESOptions) MINRESResult {
+	n := A.Dim()
+	if opt.Tol == 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 2 * n
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	// Lanczos vectors.
+	v := make([]float64, n)    // current v_k
+	vOld := make([]float64, n) // v_{k-1}
+	w := make([]float64, n)    // scratch for A·v
+	// Direction recurrences.
+	d := make([]float64, n)    // d_k
+	dOld := make([]float64, n) // d_{k-1}
+	dOld2 := make([]float64, n)
+
+	copy(v, b)
+	if opt.ProjectOnes {
+		ProjectOutOnes(v)
+	}
+	beta := Nrm2(v)
+	normB := beta
+	if normB == 0 {
+		return MINRESResult{Converged: true}
+	}
+	Scal(1/beta, v)
+
+	// QR of the tridiagonal via Givens rotations.
+	var cPrev, sPrev, cPrev2, sPrev2 float64 = 1, 0, 1, 0
+	eta := beta // residual-driving scalar
+	resid := beta
+	betaOld := 0.0
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		// Lanczos step: w = A v - beta_{k-1} v_{k-1}; alpha = vᵀw.
+		A.Apply(v, w)
+		if opt.ProjectOnes {
+			ProjectOutOnes(w)
+		}
+		if betaOld != 0 {
+			Axpy(-betaOld, vOld, w)
+		}
+		alpha := Dot(v, w)
+		Axpy(-alpha, v, w)
+		betaNew := Nrm2(w)
+
+		// Apply the two previous rotations to the new column (betaOld, alpha, betaNew).
+		rho1 := sPrev2 * betaOld            // first super-diagonal effect
+		rho2bar := cPrev2 * betaOld         //
+		rho2 := cPrev*rho2bar + sPrev*alpha // second entry after prev rotation
+		rho3bar := -sPrev*rho2bar + cPrev*alpha
+		// New rotation annihilating betaNew.
+		rho3 := math.Hypot(rho3bar, betaNew)
+		var c, s float64
+		if rho3 == 0 {
+			c, s = 1, 0
+			rho3 = 1e-300 // avoid division by zero; breakdown ⇒ converged
+		} else {
+			c, s = rho3bar/rho3, betaNew/rho3
+		}
+
+		// Update direction: d_k = (v - rho2 d_{k-1} - rho1 d_{k-2}) / rho3.
+		for i := 0; i < n; i++ {
+			d[i] = (v[i] - rho2*dOld[i] - rho1*dOld2[i]) / rho3
+		}
+		// Update solution: x += c*eta * d.
+		Axpy(c*eta, d, x)
+		resid = math.Abs(s * eta)
+		eta = -s * eta
+
+		if resid <= opt.Tol*normB {
+			return MINRESResult{Iterations: k, Residual: resid, Converged: true}
+		}
+		if betaNew == 0 {
+			// Invariant subspace found; the solve is exact.
+			return MINRESResult{Iterations: k, Residual: resid, Converged: resid <= opt.Tol*normB}
+		}
+
+		// Shift Lanczos vectors.
+		Scal(1/betaNew, w)
+		vOld, v, w = v, w, vOld
+		betaOld = betaNew
+		dOld2, dOld, d = dOld, d, dOld2
+		cPrev2, sPrev2 = cPrev, sPrev
+		cPrev, sPrev = c, s
+	}
+	return MINRESResult{Iterations: opt.MaxIter, Residual: resid, Converged: false}
+}

@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// TridiagEig computes all eigenvalues and (optionally) eigenvectors of a
+// symmetric tridiagonal matrix with diagonal d (length n) and off-diagonal
+// e (length n-1, e[i] couples rows i and i+1). It is the implicit-shift QL
+// algorithm with Wilkinson shifts — a transcription of the classic EISPACK
+// tql2/imtql2 routine — and is what turns the Lanczos tridiagonal into Ritz
+// values and vectors.
+//
+// On return, eigenvalues are ascending in eig. If wantV, Z is the n×n
+// matrix whose column k (Z.At(i,k)) holds eigenvector k of T; otherwise Z
+// is nil. The inputs are not modified.
+func TridiagEig(d, e []float64, wantV bool) (eig []float64, Z *Dense, err error) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
+		return nil, nil, fmt.Errorf("linalg: tridiag size mismatch: |d|=%d |e|=%d", n, len(e))
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+	dd := append([]float64(nil), d...)
+	// ee is padded to length n with a trailing zero, per EISPACK convention.
+	ee := make([]float64, n)
+	copy(ee, e)
+	if wantV {
+		Z = NewDense(n)
+		for i := 0; i < n; i++ {
+			Z.Set(i, i, 1)
+		}
+	}
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find a small subdiagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				s := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= math.SmallestNonzeroFloat64 || math.Abs(ee[m]) <= 1e-16*s {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= maxIter {
+				return nil, nil, fmt.Errorf("linalg: tridiag QL failed to converge at row %d", l)
+			}
+			// Wilkinson shift.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = dd[m] - dd[l] + ee[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					// Deflate: recover and retry the outer loop.
+					dd[i+1] -= p
+					ee[m] = 0
+					underflow = i >= l
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				if wantV {
+					for k := 0; k < n; k++ {
+						f := Z.At(k, i+1)
+						Z.Set(k, i+1, s*Z.At(k, i)+c*f)
+						Z.Set(k, i, c*Z.At(k, i)-s*f)
+					}
+				}
+			}
+			if underflow {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+	// Sort eigenvalues ascending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // stable insertion sort on dd
+		j := i
+		for j > 0 && dd[idx[j-1]] > dd[idx[j]] {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	eig = make([]float64, n)
+	for k, src := range idx {
+		eig[k] = dd[src]
+	}
+	if wantV {
+		sorted := NewDense(n)
+		for k, src := range idx {
+			for i := 0; i < n; i++ {
+				sorted.Set(i, k, Z.At(i, src))
+			}
+		}
+		Z = sorted
+	}
+	return eig, Z, nil
+}

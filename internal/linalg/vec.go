@@ -1,0 +1,100 @@
+// Package linalg provides the dense and iterative linear-algebra kernels
+// that back the spectral ordering stack: BLAS-1 vector operations, a cyclic
+// Jacobi eigensolver for small dense symmetric matrices, a symmetric
+// tridiagonal eigensolver (implicit-shift QL with eigenvector accumulation,
+// the classic tql2), dense Cholesky as a verification oracle, and MINRES for
+// the symmetric indefinite solves inside Rayleigh Quotient Iteration.
+//
+// Everything is written against float64 slices; no external dependencies.
+package linalg
+
+import "math"
+
+// Dot returns xᵀy. The slices must have equal length.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, xi := range x {
+		s += xi * y[i]
+	}
+	return s
+}
+
+// Nrm2 returns the Euclidean norm of x, guarding against overflow by
+// scaling (the reference NETLIB dnrm2 approach).
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		a := math.Abs(xi)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Axpy computes y += a·x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// Scal computes x *= a in place.
+func Scal(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	copy(dst, src)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Normalize scales x to unit 2-norm and returns the original norm.
+// A zero vector is left unchanged and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Nrm2(x)
+	if n > 0 {
+		Scal(1/n, x)
+	}
+	return n
+}
+
+// OrthogonalizeAgainst makes x orthogonal to the unit vector q via one step
+// of classical Gram–Schmidt: x -= (qᵀx)·q. q must have unit norm.
+func OrthogonalizeAgainst(x, q []float64) {
+	Axpy(-Dot(q, x), q, x)
+}
+
+// ProjectOutOnes removes the component of x along the constant vector —
+// the Laplacian null space. Equivalent to subtracting the mean.
+func ProjectOutOnes(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}

@@ -1,0 +1,139 @@
+package mm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ReadWeighted parses a Matrix Market coordinate file keeping the entry
+// magnitudes: it returns the pattern graph together with a symmetric
+// weight function weight(u,v) = |a_uv| suitable for the weighted spectral
+// ordering (core.WeightedSpectral). Pattern files get unit weights;
+// duplicate entries keep the last value; for "general" matrices the
+// magnitudes of a_uv and a_vu may differ, in which case the larger wins.
+// Zero-valued stored entries receive the smallest positive stored
+// magnitude so the weight function stays positive on the pattern.
+func ReadWeighted(r io.Reader) (*graph.Graph, func(u, v int) float64, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("mm: reading header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+		return nil, nil, fmt.Errorf("mm: not a Matrix Market file: %q", strings.TrimSpace(header))
+	}
+	if fields[2] != "coordinate" {
+		return nil, nil, fmt.Errorf("mm: only coordinate format supported, got %q", fields[2])
+	}
+	valType := fields[3]
+	hasValues := valType == "real" || valType == "integer" || valType == "complex"
+
+	var sizeLine string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, nil, fmt.Errorf("mm: missing size line: %w", err)
+		}
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "%") {
+			if err != nil {
+				return nil, nil, fmt.Errorf("mm: missing size line")
+			}
+			continue
+		}
+		sizeLine = t
+		break
+	}
+	var rows, cols, nnz int
+	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
+		return nil, nil, fmt.Errorf("mm: bad size line %q: %w", sizeLine, err)
+	}
+	if rows != cols {
+		return nil, nil, fmt.Errorf("mm: matrix is %dx%d, want square", rows, cols)
+	}
+
+	key := func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	weights := make(map[int64]float64, nnz)
+	b := graph.NewBuilder(rows)
+	read := 0
+	minPos := math.Inf(1)
+	for read < nnz {
+		line, err := br.ReadString('\n')
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "%") {
+			f := strings.Fields(t)
+			if len(f) < 2 {
+				return nil, nil, fmt.Errorf("mm: bad entry line %q", t)
+			}
+			i, err1 := strconv.Atoi(f[0])
+			j, err2 := strconv.Atoi(f[1])
+			if err1 != nil || err2 != nil {
+				return nil, nil, fmt.Errorf("mm: bad indices in %q", t)
+			}
+			if i < 1 || i > rows || j < 1 || j > rows {
+				return nil, nil, fmt.Errorf("mm: entry (%d,%d) out of range [1,%d]", i, j, rows)
+			}
+			w := 1.0
+			if hasValues {
+				if len(f) < 3 {
+					return nil, nil, fmt.Errorf("mm: missing value in %q", t)
+				}
+				v, err := strconv.ParseFloat(f[2], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("mm: bad value in %q: %w", t, err)
+				}
+				w = math.Abs(v)
+				if valType == "complex" && len(f) >= 4 {
+					im, err := strconv.ParseFloat(f[3], 64)
+					if err != nil {
+						return nil, nil, fmt.Errorf("mm: bad imaginary part in %q: %w", t, err)
+					}
+					w = math.Hypot(v, im)
+				}
+			}
+			if i != j {
+				b.AddEdge(i-1, j-1)
+				k := key(i-1, j-1)
+				if w > weights[k] {
+					weights[k] = w
+				}
+				if w > 0 && w < minPos {
+					minPos = w
+				}
+			}
+			read++
+		}
+		if err != nil {
+			if err == io.EOF && read == nnz {
+				break
+			}
+			if err == io.EOF {
+				return nil, nil, fmt.Errorf("mm: expected %d entries, got %d", nnz, read)
+			}
+			return nil, nil, fmt.Errorf("mm: %w", err)
+		}
+	}
+	if math.IsInf(minPos, 1) {
+		minPos = 1
+	}
+	g := b.Build()
+	weight := func(u, v int) float64 {
+		if w := weights[key(u, v)]; w > 0 {
+			return w
+		}
+		return minPos
+	}
+	return g, weight, nil
+}

@@ -1,0 +1,119 @@
+// Package multilevel implements the multilevel Fiedler-vector computation
+// of §3 of the paper (Barnard & Simon's scheme): graph contraction via
+// maximal independent sets and breadth-first domain growing, interpolation
+// of the coarse eigenvector to the finer graph, and Rayleigh Quotient
+// Iteration refinement with MINRES inner solves.
+//
+// The coarsest graph (below CoarsestSize vertices) is solved directly with
+// Lanczos; the eigenvector is then carried back up the hierarchy.
+package multilevel
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Contraction records one coarsening step: the coarse graph, and for every
+// fine vertex the coarse vertex (domain) that absorbed it.
+type Contraction struct {
+	Coarse *graph.Graph
+	// DomainOf[v] = index (coarse label) of the domain containing fine v.
+	DomainOf []int32
+	// Centers[i] = fine vertex chosen as the i-th independent-set vertex.
+	Centers []int32
+}
+
+// MaximalIndependentSet greedily selects a maximal independent set of g,
+// visiting vertices in a seeded random order (matching the paper's
+// description: "graph contraction is accomplished by first finding a
+// maximal independent set of vertices"). The result is sorted.
+func MaximalIndependentSet(g *graph.Graph, seed int64) []int32 {
+	n := g.N()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	blocked := make([]bool, n)
+	var mis []int32
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		mis = append(mis, v)
+		blocked[v] = true
+		for _, w := range g.Neighbors(int(v)) {
+			blocked[w] = true
+		}
+	}
+	// Sorted output keeps downstream structures deterministic given the seed.
+	for i := 1; i < len(mis); i++ {
+		for j := i; j > 0 && mis[j-1] > mis[j]; j-- {
+			mis[j-1], mis[j] = mis[j], mis[j-1]
+		}
+	}
+	return mis
+}
+
+// Contract builds one level of the hierarchy: the independent-set vertices
+// become the coarse vertices; domains are grown from them breadth-first
+// (multi-source BFS, ties broken by arrival order), and a coarse edge is
+// added whenever an edge of the fine graph joins two different domains —
+// "adding an edge to the contracted graph when two domains intersect".
+func Contract(g *graph.Graph, seed int64) *Contraction {
+	n := g.N()
+	centers := MaximalIndependentSet(g, seed)
+	domain := make([]int32, n)
+	for i := range domain {
+		domain[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for i, c := range centers {
+		domain[c] = int32(i)
+		queue = append(queue, c)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.Neighbors(int(v)) {
+			if domain[w] < 0 {
+				domain[w] = domain[v]
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Vertices never reached sit in components without a center; each MIS
+	// covers every component containing at least one vertex (a maximal set
+	// touches every vertex or its neighbor), so all vertices are reached on
+	// connected inputs. Guard anyway: orphan singleton domains.
+	for v := 0; v < n; v++ {
+		if domain[v] < 0 {
+			domain[v] = int32(len(centers))
+			centers = append(centers, int32(v))
+		}
+	}
+
+	b := graph.NewBuilder(len(centers))
+	for v := 0; v < n; v++ {
+		dv := domain[v]
+		for _, w := range g.Neighbors(v) {
+			if dw := domain[w]; dw > dv {
+				b.AddEdge(int(dv), int(dw))
+			}
+		}
+	}
+	return &Contraction{Coarse: b.Build(), DomainOf: domain, Centers: centers}
+}
+
+// Interpolate transfers a coarse vector to the fine graph by piecewise-
+// constant prolongation: each fine vertex takes the value of its domain.
+// The subsequent smoothing and RQI refinement remove the blockiness.
+func (c *Contraction) Interpolate(coarse []float64) []float64 {
+	fine := make([]float64, len(c.DomainOf))
+	for v, d := range c.DomainOf {
+		fine[v] = coarse[d]
+	}
+	return fine
+}

@@ -1,0 +1,119 @@
+package multilevel
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lanczos"
+	"repro/internal/laplacian"
+	"repro/internal/linalg"
+)
+
+// Options configures the multilevel Fiedler computation.
+type Options struct {
+	// CoarsestSize is the vertex count below which the hierarchy stops and
+	// Lanczos solves directly ("typically 100" per the paper). Default 100.
+	CoarsestSize int
+	// MaxLevels caps the hierarchy depth. Default 30.
+	MaxLevels int
+	// SmoothSteps is the number of weighted-Jacobi smoothing sweeps applied
+	// to each interpolated vector before RQI. Default 3.
+	SmoothSteps int
+	// RQI configures the per-level Rayleigh Quotient Iteration.
+	RQI RQIOptions
+	// Lanczos configures the coarsest-level (and direct fallback) solve.
+	Lanczos lanczos.Options
+	// Seed drives the randomized maximal independent sets.
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.CoarsestSize == 0 {
+		o.CoarsestSize = 100
+	}
+	if o.CoarsestSize < 2 {
+		o.CoarsestSize = 2
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 30
+	}
+	if o.SmoothSteps == 0 {
+		o.SmoothSteps = 3
+	}
+}
+
+// Result reports the multilevel computation.
+type Result struct {
+	// Lambda is the Rayleigh quotient of the returned vector — the λ2
+	// estimate.
+	Lambda float64
+	// Vector is the unit-norm Fiedler vector approximation.
+	Vector []float64
+	// Residual is ‖Lx − λx‖ on the finest graph.
+	Residual float64
+	// Levels is the number of graphs in the hierarchy (1 = no coarsening).
+	Levels int
+	// CoarsestN is the vertex count of the coarsest graph.
+	CoarsestN int
+}
+
+// Fiedler computes an approximate Fiedler vector of the connected graph g
+// using the multilevel contraction / interpolation / RQI-refinement scheme
+// of §3. Graphs already below CoarsestSize are handed straight to Lanczos.
+func Fiedler(g *graph.Graph, opt Options) (Result, error) {
+	opt.setDefaults()
+	n := g.N()
+	if n == 0 {
+		return Result{}, fmt.Errorf("multilevel: empty graph")
+	}
+	if n == 1 {
+		return Result{Lambda: 0, Vector: []float64{1}, Levels: 1, CoarsestN: 1}, nil
+	}
+
+	// Build the hierarchy.
+	levels := []*graph.Graph{g}
+	var contractions []*Contraction
+	cur := g
+	for cur.N() > opt.CoarsestSize && len(levels) < opt.MaxLevels {
+		c := Contract(cur, opt.Seed+int64(len(levels)))
+		// Contraction must make progress; an independent set of size == n
+		// (edgeless graph) cannot shrink further.
+		if c.Coarse.N() >= cur.N() {
+			break
+		}
+		contractions = append(contractions, c)
+		levels = append(levels, c.Coarse)
+		cur = c.Coarse
+	}
+
+	// Solve the coarsest level with Lanczos.
+	coarsest := levels[len(levels)-1]
+	op := laplacian.Auto(coarsest)
+	lres, err := lanczos.Fiedler(op, op.GershgorinBound(), opt.Lanczos)
+	if err != nil && lres.Vector == nil {
+		return Result{}, fmt.Errorf("multilevel: coarsest solve: %w", err)
+	}
+	x := lres.Vector
+
+	// Interpolate and refine up the hierarchy.
+	for li := len(contractions) - 1; li >= 0; li-- {
+		c := contractions[li]
+		fineG := levels[li]
+		x = c.Interpolate(x)
+		linalg.ProjectOutOnes(x)
+		linalg.Normalize(x)
+		fineOp := laplacian.Auto(fineG)
+		jacobiSmooth(fineG, fineOp, x, opt.SmoothSteps)
+		RQI(fineG, x, opt.RQI)
+	}
+
+	fineOp := laplacian.Auto(g)
+	res := Result{
+		Vector:    x,
+		Lambda:    fineOp.RayleighQuotient(x),
+		Residual:  rayleighResidual(fineOp, x),
+		Levels:    len(levels),
+		CoarsestN: coarsest.N(),
+	}
+	return res, nil
+}

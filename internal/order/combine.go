@@ -1,0 +1,138 @@
+package order
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// combined is the general level structure GPS and GK share: an assignment
+// of every vertex of a connected graph to one of k levels built from the
+// two rooted level structures of a pseudo-diameter (GPS 1976, step II).
+type combined struct {
+	k       int
+	levelOf []int32 // vertex -> combined level
+	levels  [][]int32
+	// start and end are the pseudo-diameter endpoints; numbering begins at
+	// start (the lower-degree endpoint, per GPS).
+	start, end int
+}
+
+// combineLevelStructures implements the GPS "combination" step. With Lu
+// rooted at u and Lv rooted at v, both of depth k, each vertex w gets the
+// pair (i, j) with i = level in Lu and j = (k−1) − level in Lv. Vertices
+// with i == j are fixed at level i. The rest are grouped into connected
+// components of the unassigned subgraph; components are processed in
+// decreasing size, each placed wholesale on its Lu levels or its Lv levels,
+// whichever keeps the maximum level width smaller.
+func combineLevelStructures(g *graph.Graph, u, v int, lsU, lsV *graph.LevelStructure) *combined {
+	n := g.N()
+	k := lsU.Depth()
+	if lsV.Depth() > k {
+		k = lsV.Depth()
+	}
+	levelOf := make([]int32, n)
+	for i := range levelOf {
+		levelOf[i] = -1
+	}
+	// Width bookkeeping for placed vertices.
+	width := make([]int32, k)
+
+	hi := func(w int32) int32 { return lsU.LevelOf[w] }              // level from u
+	lo := func(w int32) int32 { return int32(k-1) - lsV.LevelOf[w] } // mirrored level from v
+
+	unassigned := make([]bool, n)
+	for w := 0; w < n; w++ {
+		if hi(int32(w)) == lo(int32(w)) {
+			levelOf[w] = hi(int32(w))
+			width[levelOf[w]]++
+		} else {
+			unassigned[w] = true
+		}
+	}
+
+	// Connected components of the subgraph induced on unassigned vertices.
+	var comps [][]int32
+	seen := make([]bool, n)
+	var stack []int32
+	for s := 0; s < n; s++ {
+		if !unassigned[s] || seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], int32(s))
+		comp := []int32{int32(s)}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(x)) {
+				if unassigned[w] && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+					comp = append(comp, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	sort.SliceStable(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+
+	for _, comp := range comps {
+		// Candidate widths if the component is placed on hi (Lu) levels or
+		// on lo (Lv) levels.
+		var maxHi, maxLo int32
+		cntHi := make(map[int32]int32)
+		cntLo := make(map[int32]int32)
+		for _, w := range comp {
+			cntHi[hi(w)]++
+			cntLo[lo(w)]++
+		}
+		for l, c := range cntHi {
+			if t := width[l] + c; t > maxHi {
+				maxHi = t
+			}
+		}
+		for l, c := range cntLo {
+			if t := width[l] + c; t > maxLo {
+				maxLo = t
+			}
+		}
+		use := hi
+		if maxLo < maxHi {
+			use = lo
+		}
+		for _, w := range comp {
+			levelOf[w] = use(w)
+			width[use(w)]++
+		}
+	}
+
+	levels := make([][]int32, k)
+	for w := 0; w < n; w++ {
+		l := levelOf[w]
+		levels[l] = append(levels[l], int32(w))
+	}
+	// Numbering starts from the lower-degree endpoint. If the start ends up
+	// in the last level rather than the first, flip the level indices so the
+	// start is at level 0.
+	start, end := u, v
+	if g.Degree(v) < g.Degree(u) {
+		start, end = v, u
+	}
+	if levelOf[start] != 0 {
+		for w := 0; w < n; w++ {
+			levelOf[w] = int32(k-1) - levelOf[w]
+		}
+		for i, j := 0, k-1; i < j; i, j = i+1, j-1 {
+			levels[i], levels[j] = levels[j], levels[i]
+		}
+	}
+	return &combined{k: k, levelOf: levelOf, levels: levels, start: start, end: end}
+}
+
+// diameterAndCombine is the shared first half of GPS and GK on a connected
+// component: find a pseudo-diameter and build the combined level structure.
+func diameterAndCombine(g *graph.Graph) *combined {
+	u, v, lsU, lsV := graph.PseudoDiameter(g, 0)
+	return combineLevelStructures(g, u, v, lsU, lsV)
+}

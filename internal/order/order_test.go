@@ -1,0 +1,295 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/envelope"
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+// allOrderings enumerates every ordering algorithm in this package for the
+// generic validity/quality tests.
+var allOrderings = []struct {
+	name string
+	f    func(*graph.Graph) perm.Perm
+}{
+	{"CM", CuthillMcKee},
+	{"RCM", RCM},
+	{"GPS", GPS},
+	{"GK", GK},
+	{"King", King},
+	{"Sloan", Sloan},
+}
+
+func TestAllAreValidPermutations(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":      graph.Path(17),
+		"cycle":     graph.Cycle(20),
+		"grid":      graph.Grid(7, 5),
+		"star":      graph.Star(9),
+		"complete":  graph.Complete(6),
+		"random":    graph.Random(60, 120, 1),
+		"singleton": graph.NewBuilder(1).Build(),
+		"empty":     graph.NewBuilder(0).Build(),
+		"edgeless":  graph.FromEdges(5, nil),
+		"two-comps": graph.FromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}}),
+	}
+	for gname, g := range graphs {
+		for _, alg := range allOrderings {
+			p := alg.f(g)
+			if len(p) != g.N() {
+				t.Errorf("%s/%s: length %d, want %d", alg.name, gname, len(p), g.N())
+				continue
+			}
+			if err := p.Check(); err != nil {
+				t.Errorf("%s/%s: %v", alg.name, gname, err)
+			}
+		}
+	}
+}
+
+func TestRCMPathIsOptimal(t *testing.T) {
+	g := graph.Path(25)
+	p := RCM(g)
+	s := envelope.Compute(g, p)
+	if s.Bandwidth != 1 {
+		t.Errorf("RCM path bandwidth = %d, want 1", s.Bandwidth)
+	}
+	if s.Esize != 24 {
+		t.Errorf("RCM path Esize = %d, want 24", s.Esize)
+	}
+}
+
+func TestGPSPathIsOptimal(t *testing.T) {
+	g := graph.Path(25)
+	s := envelope.Compute(g, GPS(g))
+	if s.Bandwidth != 1 {
+		t.Errorf("GPS path bandwidth = %d, want 1", s.Bandwidth)
+	}
+}
+
+func TestGKPathIsOptimal(t *testing.T) {
+	g := graph.Path(25)
+	s := envelope.Compute(g, GK(g))
+	if s.Bandwidth != 1 {
+		t.Errorf("GK path bandwidth = %d, want 1", s.Bandwidth)
+	}
+}
+
+func TestCMIsAdjacencyOrdering(t *testing.T) {
+	// §2.4: Cuthill–McKee is an adjacency ordering: each v_{j+1} is
+	// adjacent to some earlier vertex (on connected graphs).
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.Random(50, 90, seed)
+		p := CuthillMcKee(g)
+		pos := p.Inverse()
+		for j := 1; j < len(p); j++ {
+			v := int(p[j])
+			ok := false
+			for _, w := range g.Neighbors(v) {
+				if int(pos[w]) < j {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("seed %d: CM vertex at position %d has no earlier neighbor", seed, j)
+			}
+		}
+	}
+}
+
+func TestOrderingsBeatRandomOnGrids(t *testing.T) {
+	g := graph.Grid(15, 15)
+	worst := envelope.Esize(g, perm.Random(g.N(), 99))
+	for _, alg := range allOrderings {
+		if e := envelope.Esize(g, alg.f(g)); e >= worst {
+			t.Errorf("%s: Esize %d not better than random %d", alg.name, e, worst)
+		}
+	}
+}
+
+func TestGridBandwidthQuality(t *testing.T) {
+	// For an a×b grid (a ≥ b) the optimal bandwidth is b; the BFS family
+	// should come close (≤ b+1 for RCM/GPS).
+	g := graph.Grid(12, 5)
+	for _, alg := range []struct {
+		name string
+		f    func(*graph.Graph) perm.Perm
+		max  int
+	}{
+		{"RCM", RCM, 7},
+		{"GPS", GPS, 7},
+		{"GK", GK, 9},
+	} {
+		bw := envelope.Bandwidth(g, alg.f(g))
+		if bw > alg.max {
+			t.Errorf("%s grid bandwidth = %d, want ≤ %d", alg.name, bw, alg.max)
+		}
+	}
+}
+
+func TestRCMEnvelopeNotWorseThanCM(t *testing.T) {
+	// Liu–Sherman: RCM's envelope is never worse than CM's.
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.Random(45, 80, seed)
+		ecm := envelope.Esize(g, CuthillMcKee(g))
+		ercm := envelope.Esize(g, RCM(g))
+		if ercm > ecm {
+			t.Errorf("seed %d: RCM %d > CM %d", seed, ercm, ecm)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph.Random(80, 150, 5)
+	for _, alg := range allOrderings {
+		a, b := alg.f(g), alg.f(g)
+		if !a.Equal(b) {
+			t.Errorf("%s: non-deterministic", alg.name)
+		}
+	}
+}
+
+func TestDisconnectedComponentsContiguous(t *testing.T) {
+	// Components must occupy contiguous position ranges.
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4) // comp A: 0..4 (size 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7) // comp B: 5..7 (size 3)
+	b.AddEdge(8, 9) // comp C: 8..9 (size 2)
+	g := b.Build()
+	compOf := func(v int32) int {
+		switch {
+		case v <= 4:
+			return 0
+		case v <= 7:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for _, alg := range allOrderings {
+		p := alg.f(g)
+		// Check each component's positions form an interval.
+		seen := map[int]bool{}
+		last := -1
+		for _, v := range p {
+			c := compOf(v)
+			if c != last {
+				if seen[c] {
+					t.Errorf("%s: component %d split", alg.name, c)
+					break
+				}
+				seen[c] = true
+				last = c
+			}
+		}
+	}
+}
+
+func TestGKBeatsOrMatchesRCMEnvelopeOnMeshes(t *testing.T) {
+	// The paper (and Lewis 1982) report GK usually giving smaller envelopes
+	// than RCM on mesh problems. Allow slack, but catch gross regressions.
+	g := graph.Grid9(20, 20)
+	egk := envelope.Esize(g, GK(g))
+	ercm := envelope.Esize(g, RCM(g))
+	if float64(egk) > 1.15*float64(ercm) {
+		t.Errorf("GK envelope %d much worse than RCM %d", egk, ercm)
+	}
+}
+
+func TestSloanCompetitiveOnGrid(t *testing.T) {
+	g := graph.Grid(20, 20)
+	es := envelope.Esize(g, Sloan(g))
+	ercm := envelope.Esize(g, RCM(g))
+	if float64(es) > 1.3*float64(ercm) {
+		t.Errorf("Sloan envelope %d not competitive with RCM %d", es, ercm)
+	}
+}
+
+func TestCombineLevelStructure(t *testing.T) {
+	g := graph.Grid(9, 4)
+	u, v, lsU, lsV := graph.PseudoDiameter(g, 0)
+	c := combineLevelStructures(g, u, v, lsU, lsV)
+	// Every vertex assigned to exactly one level in range.
+	count := 0
+	for l := 0; l < c.k; l++ {
+		count += len(c.levels[l])
+		for _, w := range c.levels[l] {
+			if c.levelOf[w] != int32(l) {
+				t.Fatalf("levelOf mismatch for %d", w)
+			}
+		}
+	}
+	if count != g.N() {
+		t.Fatalf("combined levels cover %d of %d", count, g.N())
+	}
+	// Start is in level 0.
+	if c.levelOf[c.start] != 0 {
+		t.Fatalf("start %d at level %d", c.start, c.levelOf[c.start])
+	}
+	// Combined width should be ≤ the worse of the two inputs on this
+	// well-behaved mesh.
+	maxW := 0
+	for _, lv := range c.levels {
+		if len(lv) > maxW {
+			maxW = len(lv)
+		}
+	}
+	inW := lsU.Width()
+	if lsV.Width() > inW {
+		inW = lsV.Width()
+	}
+	if maxW > inW {
+		t.Errorf("combined width %d exceeds both inputs (%d)", maxW, inW)
+	}
+}
+
+func TestKingFrontGrowthIsMinimalStep(t *testing.T) {
+	// After King numbering, verify first step: order[...last] — reversal
+	// makes direct front checks awkward, so instead verify the ordering is
+	// valid and its max frontwidth is no worse than CM's on a grid.
+	g := graph.Grid(10, 10)
+	sk := envelope.Compute(g, King(g))
+	scm := envelope.Compute(g, CuthillMcKee(g))
+	if sk.MaxFrontwidth > scm.MaxFrontwidth+2 {
+		t.Errorf("King max frontwidth %d much worse than CM %d", sk.MaxFrontwidth, scm.MaxFrontwidth)
+	}
+}
+
+func BenchmarkRCMGrid(b *testing.B) {
+	g := graph.Grid(100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RCM(g)
+	}
+}
+
+func BenchmarkGPSGrid(b *testing.B) {
+	g := graph.Grid(100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GPS(g)
+	}
+}
+
+func BenchmarkGKGrid(b *testing.B) {
+	g := graph.Grid(100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GK(g)
+	}
+}
+
+func BenchmarkSloanGrid(b *testing.B) {
+	g := graph.Grid(100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sloan(g)
+	}
+}

@@ -1,0 +1,141 @@
+package perm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	if !p.Valid() {
+		t.Fatal("identity invalid")
+	}
+	for i, v := range p {
+		if int(v) != i {
+			t.Fatalf("Identity[%d] = %d", i, v)
+		}
+	}
+	if !Identity(0).Valid() {
+		t.Fatal("empty identity invalid")
+	}
+}
+
+func TestRandomIsValidAndDeterministic(t *testing.T) {
+	a := Random(100, 42)
+	b := Random(100, 42)
+	c := Random(100, 43)
+	if !a.Valid() {
+		t.Fatal("random perm invalid")
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed gave different permutations")
+	}
+	if a.Equal(c) {
+		t.Fatal("different seeds gave identical permutations (very unlikely)")
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	cases := []Perm{
+		{0, 0},          // duplicate
+		{1, 2},          // out of range
+		{-1, 0},         // negative
+		{0, 2, 1, 3, 3}, // duplicate later
+	}
+	for _, p := range cases {
+		if p.Valid() {
+			t.Errorf("Valid(%v) = true", p)
+		}
+		if p.Check() == nil {
+			t.Errorf("Check(%v) = nil", p)
+		}
+	}
+	if !(Perm{2, 0, 1}).Valid() {
+		t.Error("valid perm rejected")
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%50) + 1
+		if n < 0 {
+			n = -n + 1
+		}
+		p := Random(n, seed)
+		inv := p.Inverse()
+		// p ∘ inv = inv ∘ p = identity.
+		return p.Compose(inv).Equal(Identity(n)) && inv.Compose(p).Equal(Identity(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	p := Perm{3, 1, 0, 2}
+	r := p.Reverse()
+	want := Perm{2, 0, 1, 3}
+	if !r.Equal(want) {
+		t.Fatalf("Reverse = %v, want %v", r, want)
+	}
+	if !p.Reverse().Reverse().Equal(p) {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+func TestReverseEnvelopeInvariant(t *testing.T) {
+	// Reversal preserves validity for random permutations.
+	for seed := int64(0); seed < 20; seed++ {
+		p := Random(30, seed)
+		if !p.Reverse().Valid() {
+			t.Fatalf("seed %d: reversed perm invalid", seed)
+		}
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(40) + 1
+		a, b, c := Random(n, rng.Int63()), Random(n, rng.Int63()), Random(n, rng.Int63())
+		left := a.Compose(b).Compose(c)
+		right := a.Compose(b.Compose(c))
+		if !left.Equal(right) {
+			t.Fatalf("compose not associative at n=%d", n)
+		}
+	}
+}
+
+func TestComposePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Identity(3).Compose(Identity(4))
+}
+
+func TestIntsRoundTrip(t *testing.T) {
+	p := Random(37, 5)
+	q := FromInts(p.Ints())
+	if !p.Equal(q) {
+		t.Fatal("Ints/FromInts round trip failed")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := Random(10, 1)
+	q := p.Clone()
+	q[0], q[1] = q[1], q[0]
+	if reflect.DeepEqual(p, q) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestEqualLengthMismatch(t *testing.T) {
+	if Identity(3).Equal(Identity(4)) {
+		t.Fatal("different lengths reported equal")
+	}
+}

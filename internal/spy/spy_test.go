@@ -1,0 +1,107 @@
+package spy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+func TestRasterizeCountsAllNonzeros(t *testing.T) {
+	g := graph.Grid(10, 10)
+	r := Rasterize(g, perm.Identity(100), 20)
+	var total int64
+	for _, c := range r.Count {
+		total += int64(c)
+	}
+	// diagonal n + both triangles 2m
+	want := int64(g.N() + 2*g.M())
+	if total != want {
+		t.Fatalf("total binned = %d, want %d", total, want)
+	}
+}
+
+func TestRasterizeSymmetric(t *testing.T) {
+	g := graph.Random(60, 120, 1)
+	r := Rasterize(g, perm.Random(60, 2), 15)
+	for i := 0; i < r.Size; i++ {
+		for j := 0; j < r.Size; j++ {
+			if r.Count[i*r.Size+j] != r.Count[j*r.Size+i] {
+				t.Fatalf("raster not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBandedMatrixLooksBanded(t *testing.T) {
+	// Path with identity order: all nonzeros on the diagonal band, so every
+	// cell off the raster tridiagonal must be empty.
+	g := graph.Path(100)
+	r := Rasterize(g, perm.Identity(100), 10)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 && r.Count[i*10+j] != 0 {
+				t.Fatalf("banded matrix has mass at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestASCIIShape(t *testing.T) {
+	g := graph.Grid(8, 8)
+	r := Rasterize(g, perm.Identity(64), 12)
+	art := r.ASCII()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("got %d lines, want 12", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 12 {
+			t.Fatalf("line %d has %d chars", i, len(l))
+		}
+	}
+	// Diagonal must be non-blank.
+	for i := 0; i < 12; i++ {
+		if lines[i][i] == ' ' {
+			t.Fatalf("diagonal blank at %d", i)
+		}
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	g := graph.Grid(6, 6)
+	r := Rasterize(g, perm.Identity(36), 8)
+	var buf bytes.Buffer
+	if err := r.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P5\n8 8\n255\n")) {
+		t.Fatalf("bad PGM header: %q", b[:12])
+	}
+	if len(b) != len("P5\n8 8\n255\n")+64 {
+		t.Fatalf("PGM length %d", len(b))
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	r := Rasterize(empty, perm.Perm{}, 4)
+	if r.Max() != 0 {
+		t.Fatal("empty raster has mass")
+	}
+	single := graph.NewBuilder(1).Build()
+	r = Rasterize(single, perm.Identity(1), 4)
+	if r.Size != 1 {
+		t.Fatalf("size clamped to %d, want 1", r.Size)
+	}
+	if r.Count[0] != 1 {
+		t.Fatal("diagonal of singleton missing")
+	}
+}
