@@ -14,6 +14,7 @@ import (
 	"repro/internal/multilevel"
 	"repro/internal/order"
 	"repro/internal/perm"
+	"repro/internal/pipeline"
 	"repro/internal/spy"
 )
 
@@ -104,6 +105,49 @@ var (
 	King         = order.King
 	Sloan        = order.Sloan
 )
+
+// Portfolio engine ------------------------------------------------------------
+
+// AutoOptions configures the parallel portfolio ordering engine: the
+// algorithm portfolio raced per connected component, the worker-pool width,
+// the seed, an optional time budget, and an optional context for
+// cancellation.
+type AutoOptions = pipeline.Options
+
+// AutoReport describes an Auto run: the winning algorithm and the losing
+// candidates per component, win counts per algorithm, and the envelope
+// parameters of the stitched ordering.
+type AutoReport = pipeline.Report
+
+// Canonical algorithm names for AutoOptions.Portfolio.
+const (
+	AlgRCM           = pipeline.AlgRCM
+	AlgCM            = pipeline.AlgCM
+	AlgGPS           = pipeline.AlgGPS
+	AlgGK            = pipeline.AlgGK
+	AlgKing          = pipeline.AlgKing
+	AlgSloan         = pipeline.AlgSloan
+	AlgSpectral      = pipeline.AlgSpectral
+	AlgSpectralSloan = pipeline.AlgSpectralSloan
+)
+
+// DefaultPortfolio returns the default Auto contender set.
+func DefaultPortfolio() []string { return pipeline.DefaultPortfolio() }
+
+// Auto splits g into connected components, orders every component
+// concurrently while racing a portfolio of ordering algorithms, keeps the
+// candidate with the smallest envelope per component (ties: bandwidth, then
+// work), and stitches the winners into one global permutation. The result
+// is deterministic for a fixed seed regardless of AutoOptions.Parallelism,
+// unless a Budget is set: budget expiry skips candidates by wall clock, so
+// budgeted runs trade determinism for latency (the first portfolio entry
+// always runs, so the result stays valid).
+// Prefer Auto over Spectral when the input may be disconnected, when no
+// single algorithm is known to dominate on the workload, or when spare
+// cores are available to hide the portfolio's cost.
+func Auto(g *Graph, opt AutoOptions) (Perm, AutoReport, error) {
+	return pipeline.Auto(g, opt)
+}
 
 // Identity returns the identity ordering (the matrix as given).
 func Identity(n int) Perm { return perm.Identity(n) }

@@ -257,6 +257,56 @@ func BenchmarkAblationSmoothing(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoPortfolio compares the parallel portfolio engine against the
+// best single algorithm chosen in hindsight: "Auto" runs the whole
+// portfolio per component on a worker pool (1 worker vs all cores), while
+// "BestSingle" runs the four paper algorithms sequentially and keeps the
+// smallest envelope — the oracle Auto has to match. The envelope metric of
+// Auto must never exceed BestSingle's; the timing columns show what the
+// portfolio costs (serial) and what the pool buys back (parallel).
+func BenchmarkAutoPortfolio(b *testing.B) {
+	for _, prob := range []string{"BARTH4", "DWT2680"} {
+		p := benchProblem(b, prob)
+		for _, pool := range []struct {
+			name    string
+			workers int
+		}{
+			{"Auto/serial", 1},
+			{"Auto/parallel", 0}, // 0 = GOMAXPROCS
+		} {
+			b.Run(fmt.Sprintf("%s/%s", prob, pool.name), func(b *testing.B) {
+				var es int64
+				for i := 0; i < b.N; i++ {
+					o, rep, err := envred.Auto(p.G, envred.AutoOptions{Seed: benchSeed, Parallelism: pool.workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = rep
+					es = envred.Esize(p.G, o)
+				}
+				b.ReportMetric(float64(es), "envelope")
+			})
+		}
+		b.Run(fmt.Sprintf("%s/BestSingle", prob), func(b *testing.B) {
+			var es int64
+			for i := 0; i < b.N; i++ {
+				best := int64(-1)
+				for _, alg := range harness.Algorithms(benchSeed) {
+					o, err := alg.F(p.G)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if e := envred.Esize(p.G, o); best < 0 || e < best {
+						best = e
+					}
+				}
+				es = best
+			}
+			b.ReportMetric(float64(es), "envelope")
+		})
+	}
+}
+
 // BenchmarkAblationHybrid measures the spectral–Sloan refinement benefit.
 func BenchmarkAblationHybrid(b *testing.B) {
 	p := benchProblem(b, "BARTH4")

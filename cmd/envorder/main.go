@@ -8,13 +8,18 @@
 //	-problem NAME   a bundled synthetic stand-in (e.g. BARTH4; see -list)
 //	-grid WxH       a W×H 5-point grid
 //
-// The ordering algorithm is selected with -alg (spectral, hybrid, rcm, cm,
-// gps, gk, king, sloan, identity, random). The permutation is printed to
-// -out (one 0-based original index per line, new order top to bottom).
+// The ordering algorithm is selected with -method (or its alias -alg):
+// auto, spectral, hybrid, rcm, cm, gps, gk, king, sloan, identity, random.
+// Method auto races the whole portfolio on every connected component across
+// -parallel workers and keeps the per-component winner (optionally capped
+// by -budget); the per-component winners are reported. The permutation is
+// printed to -out (one 0-based original index per line, new order top to
+// bottom).
 //
 // Example:
 //
-//	envorder -problem BARTH4 -alg spectral -scale 0.5
+//	envorder -problem BARTH4 -method spectral -scale 0.5
+//	envorder -mm matrix.mtx -method auto -parallel 8
 //	envorder -mm matrix.mtx -alg gk -out perm.txt
 package main
 
@@ -43,7 +48,10 @@ func main() {
 		problem  = flag.String("problem", "", "bundled problem name (see -list)")
 		grid     = flag.String("grid", "", "WxH grid graph, e.g. 100x60")
 		list     = flag.Bool("list", false, "list bundled problems and exit")
-		alg      = flag.String("alg", "spectral", "ordering algorithm")
+		alg      = flag.String("alg", "", "ordering algorithm (alias of -method)")
+		method   = flag.String("method", "", "ordering algorithm (auto, spectral, hybrid, rcm, cm, gps, gk, king, sloan, identity, random)")
+		parallel = flag.Int("parallel", 0, "worker pool size for -method auto (0 = GOMAXPROCS)")
+		budget   = flag.Duration("budget", 0, "soft time budget for -method auto (0 = unlimited)")
 		scale    = flag.Float64("scale", 1.0, "problem scale for -problem")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "write permutation to this file")
@@ -52,6 +60,18 @@ func main() {
 		bounds   = flag.Bool("bounds", false, "print the Theorem 2.2 envelope lower bound vs the achieved envelope")
 	)
 	flag.Parse()
+
+	switch {
+	case *method == "" && *alg == "":
+		*method = "spectral"
+	case *method == "":
+		*method = *alg
+	case *alg != "" && !strings.EqualFold(*alg, *method):
+		log.Fatalf("-alg %q conflicts with -method %q; set only one", *alg, *method)
+	}
+	if *weighted && !strings.EqualFold(*method, "spectral") {
+		log.Fatalf("-weighted is only supported with -method spectral (got %q)", *method)
+	}
 
 	if *list {
 		fmt.Printf("%-10s %-14s %10s %12s\n", "NAME", "SUITE", "N", "NNZ(lower)")
@@ -99,14 +119,15 @@ func main() {
 	start := time.Now()
 	var p perm.Perm
 	var info *envred.SpectralInfo
-	if weight != nil && strings.EqualFold(*alg, "spectral") {
+	var report *envred.AutoReport
+	if weight != nil && strings.EqualFold(*method, "spectral") {
 		wp, winfo, err := envred.WeightedSpectral(g, weight, envred.SpectralOptions{Seed: *seed})
 		if err != nil {
 			log.Fatal(err)
 		}
 		p, info = wp, &winfo
 	} else {
-		p, info = computeOrdering(g, *alg, *seed)
+		p, info, report = computeOrdering(g, *method, *seed, *parallel, *budget)
 	}
 	elapsed := time.Since(start)
 
@@ -115,7 +136,7 @@ func main() {
 	}
 	s := envelope.Compute(g, p)
 	fmt.Printf("matrix    : %s (n=%d, nnz=%d)\n", name, g.N(), g.Nonzeros())
-	fmt.Printf("algorithm : %s (%.3fs)\n", strings.ToUpper(*alg), elapsed.Seconds())
+	fmt.Printf("algorithm : %s (%.3fs)\n", strings.ToUpper(*method), elapsed.Seconds())
 	fmt.Printf("envelope  : %d\n", s.Esize)
 	fmt.Printf("work Σr²  : %d\n", s.Ework)
 	fmt.Printf("bandwidth : %d\n", s.Bandwidth)
@@ -125,6 +146,19 @@ func main() {
 	if info != nil {
 		fmt.Printf("lambda2   : %.6g (residual %.2e, multilevel=%v, reversed=%v)\n",
 			info.Lambda2, info.Residual, info.Multilevel, info.Reversed)
+	}
+	if report != nil {
+		fmt.Printf("portfolio : %d component(s) on %d worker(s)\n", len(report.Components), report.Parallelism)
+		for _, cr := range report.Components {
+			skipped := 0
+			for _, c := range cr.Candidates {
+				if c.Skipped {
+					skipped++
+				}
+			}
+			fmt.Printf("  comp %-4d n=%-8d winner=%-14s envelope=%-10d bandwidth=%-6d (skipped %d)\n",
+				cr.Index, cr.Size, cr.Winner, cr.Stats.Esize, cr.Stats.Bandwidth, skipped)
+		}
 	}
 	if *bounds && info != nil && info.Lambda2 > 0 {
 		bd := envred.EnvelopeBounds(g.N(), g.MaxDegree(), info.Lambda2, envred.GershgorinBound(g))
@@ -174,39 +208,45 @@ func loadGraph(mmFile, problem, grid string, scale float64, seed int64) (*graph.
 	}
 }
 
-func computeOrdering(g *graph.Graph, alg string, seed int64) (perm.Perm, *envred.SpectralInfo) {
+func computeOrdering(g *graph.Graph, alg string, seed int64, parallel int, budget time.Duration) (perm.Perm, *envred.SpectralInfo, *envred.AutoReport) {
 	switch strings.ToLower(alg) {
+	case "auto":
+		p, rep, err := envred.Auto(g, envred.AutoOptions{Seed: seed, Parallelism: parallel, Budget: budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p, nil, &rep
 	case "spectral":
 		p, info, err := envred.Spectral(g, envred.SpectralOptions{Seed: seed})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return p, &info
+		return p, &info, nil
 	case "hybrid", "spectral-sloan":
 		p, info, err := envred.SpectralSloan(g, envred.SpectralOptions{Seed: seed})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return p, &info
+		return p, &info, nil
 	case "rcm":
-		return envred.RCM(g), nil
+		return envred.RCM(g), nil, nil
 	case "cm":
-		return envred.CuthillMcKee(g), nil
+		return envred.CuthillMcKee(g), nil, nil
 	case "gps":
-		return envred.GPS(g), nil
+		return envred.GPS(g), nil, nil
 	case "gk":
-		return envred.GK(g), nil
+		return envred.GK(g), nil, nil
 	case "king":
-		return envred.King(g), nil
+		return envred.King(g), nil, nil
 	case "sloan":
-		return envred.Sloan(g), nil
+		return envred.Sloan(g), nil, nil
 	case "identity":
-		return perm.Identity(g.N()), nil
+		return perm.Identity(g.N()), nil, nil
 	case "random":
-		return perm.Random(g.N(), seed), nil
+		return perm.Random(g.N(), seed), nil, nil
 	default:
 		log.Fatalf("unknown algorithm %q", alg)
-		return nil, nil
+		return nil, nil, nil
 	}
 }
 

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	paperbench [-table 4.1|4.2|4.3|4.4|all] [-figures] [-scale S] [-seed N] [-outdir DIR]
+//	paperbench [-table 4.1|4.2|4.3|4.4|all] [-figures] [-scale S] [-seed N] [-outdir DIR] [-auto] [-parallel N]
+//
+// -auto appends an AUTO row to the ordering-comparison tables (4.1–4.3):
+// the parallel portfolio engine racing all contenders per connected
+// component on -parallel workers. Table 4.4 (factorization times) is
+// unaffected.
 //
 // With -outdir the tables are also written to table4_*.txt and the figures
 // to fig4_*.pgm / fig4_*.txt (ASCII); otherwise everything prints to
@@ -32,12 +37,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	var (
-		table   = flag.String("table", "all", "which table to run: 4.1, 4.2, 4.3, 4.4 or all")
-		figures = flag.Bool("figures", true, "regenerate Figures 4.1-4.5 (BARTH4 spy plots)")
-		scale   = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1 = paper sizes")
-		seed    = flag.Int64("seed", 1993, "random seed for generators and eigensolver")
-		outdir  = flag.String("outdir", "", "directory for table4_*.txt and fig4_*.pgm (stdout only if empty)")
-		spySize = flag.Int("spysize", 512, "spy plot raster size in pixels")
+		table    = flag.String("table", "all", "which table to run: 4.1, 4.2, 4.3, 4.4 or all")
+		figures  = flag.Bool("figures", true, "regenerate Figures 4.1-4.5 (BARTH4 spy plots)")
+		scale    = flag.Float64("scale", 1.0, "problem scale in (0,1]; 1 = paper sizes")
+		seed     = flag.Int64("seed", 1993, "random seed for generators and eigensolver")
+		outdir   = flag.String("outdir", "", "directory for table4_*.txt and fig4_*.pgm (stdout only if empty)")
+		spySize  = flag.Int("spysize", 512, "spy plot raster size in pixels")
+		auto     = flag.Bool("auto", false, "append the AUTO portfolio-engine row to tables 4.1-4.3")
+		parallel = flag.Int("parallel", 0, "AUTO worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,7 +74,13 @@ func main() {
 
 	runTable := func(id, suite, title string) {
 		start := time.Now()
-		results, err := harness.RunSuite(suite, *scale, *seed)
+		var results []harness.ProblemResult
+		var err error
+		if *auto {
+			results, err = harness.RunSuitePortfolio(suite, *scale, *seed, *parallel)
+		} else {
+			results, err = harness.RunSuite(suite, *scale, *seed)
+		}
 		if err != nil {
 			log.Fatalf("table %s: %v", id, err)
 		}

@@ -23,7 +23,12 @@
 //     numerical entries,
 //   - Matrix Market and Harwell–Boeing I/O, spy-plot rendering, and
 //     deterministic generators reproducing the paper's 18 test problems by
-//     size and topology class.
+//     size and topology class,
+//   - a parallel portfolio ordering engine (Auto) that decomposes the
+//     graph into connected components, races a configurable portfolio of
+//     the above algorithms per component on a bounded worker pool, keeps
+//     the smallest-envelope candidate per component and stitches the
+//     winners into one deterministic global permutation.
 //
 // # Quick start
 //
@@ -32,6 +37,24 @@
 //	if err != nil { ... }
 //	s := envred.Stats(g, p)
 //	fmt.Println(s.Esize, s.Bandwidth, info.Lambda2)
+//
+// # Choosing an ordering
+//
+// Spectral is the paper's algorithm and the right default on a single
+// large connected mesh. Prefer Auto when the input may be disconnected,
+// when no single algorithm is known to dominate the workload (the
+// portfolio's winner varies by component topology), or when spare cores
+// can hide the cost of racing the portfolio:
+//
+//	p, rep, err := envred.Auto(g, envred.AutoOptions{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println(rep.Stats.Esize, rep.Wins)         // per-algorithm wins
+//
+// Auto's envelope is never worse than the best portfolio member's on any
+// component, and its result is byte-identical for a fixed seed regardless
+// of AutoOptions.Parallelism — unless AutoOptions.Budget is set, which
+// skips slow candidates by wall clock and so trades determinism for
+// latency.
 //
 // Orderings use the new→old convention: p[k] is the original index of the
 // row placed k-th. See the examples directory for complete programs and

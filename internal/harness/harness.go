@@ -3,7 +3,9 @@
 // envelope size, bandwidth and wall-clock ordering time, ranks the
 // algorithms by envelope (the "Rank" column), and formats rows matching
 // Tables 4.1–4.3. It also drives the factorization-time comparison of
-// Table 4.4.
+// Table 4.4, and can append an AUTO row — the parallel portfolio engine of
+// internal/pipeline — to every comparison (RunProblemPortfolio,
+// RunSuitePortfolio).
 package harness
 
 import (
@@ -20,29 +22,31 @@ import (
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/perm"
+	"repro/internal/pipeline"
 )
 
-// Algorithm names in the paper's table order.
+// Algorithm names in the paper's table order, plus the portfolio engine.
 const (
 	AlgSpectral = "SPECTRAL"
 	AlgGK       = "GK"
 	AlgGPS      = "GPS"
 	AlgRCM      = "RCM"
+	AlgAuto     = "AUTO"
 )
 
 // OrderFunc computes an ordering of a graph.
 type OrderFunc func(*graph.Graph) (perm.Perm, error)
 
-// Algorithms returns the paper's four contenders in table order. seed
-// drives the spectral solver's randomness.
-func Algorithms(seed int64) []struct {
+// NamedAlgorithm pairs a table label with its ordering function.
+type NamedAlgorithm struct {
 	Name string
 	F    OrderFunc
-} {
-	return []struct {
-		Name string
-		F    OrderFunc
-	}{
+}
+
+// Algorithms returns the paper's four contenders in table order. seed
+// drives the spectral solver's randomness.
+func Algorithms(seed int64) []NamedAlgorithm {
+	return []NamedAlgorithm{
 		{AlgSpectral, func(g *graph.Graph) (perm.Perm, error) {
 			p, _, err := core.Spectral(g, core.Options{Seed: seed})
 			return p, err
@@ -55,6 +59,17 @@ func Algorithms(seed int64) []struct {
 
 func wrap(f func(*graph.Graph) perm.Perm) OrderFunc {
 	return func(g *graph.Graph) (perm.Perm, error) { return f(g), nil }
+}
+
+// PortfolioAlgorithms returns the paper's four contenders plus the AUTO
+// portfolio engine running its default portfolio on parallel workers
+// (≤ 0 means GOMAXPROCS). The AUTO row shows what racing all contenders
+// per component buys over committing to any single one.
+func PortfolioAlgorithms(seed int64, parallel int) []NamedAlgorithm {
+	return append(Algorithms(seed), NamedAlgorithm{AlgAuto, func(g *graph.Graph) (perm.Perm, error) {
+		p, _, err := pipeline.Auto(g, pipeline.Options{Seed: seed, Parallelism: parallel})
+		return p, err
+	}})
 }
 
 // Row is one line of a Section 4 table: one algorithm on one problem.
@@ -78,8 +93,18 @@ type ProblemResult struct {
 // error; the paper's algorithms never legitimately fail on connected
 // graphs.
 func RunProblem(p gen.Problem, seed int64) (ProblemResult, error) {
+	return runProblem(p, Algorithms(seed))
+}
+
+// RunProblemPortfolio is RunProblem with the AUTO portfolio row appended:
+// five ranked rows per problem.
+func RunProblemPortfolio(p gen.Problem, seed int64, parallel int) (ProblemResult, error) {
+	return runProblem(p, PortfolioAlgorithms(seed, parallel))
+}
+
+func runProblem(p gen.Problem, algs []NamedAlgorithm) (ProblemResult, error) {
 	res := ProblemResult{Problem: p}
-	for _, alg := range Algorithms(seed) {
+	for _, alg := range algs {
 		start := time.Now()
 		o, err := alg.F(p.G)
 		elapsed := time.Since(start).Seconds()
@@ -117,10 +142,23 @@ func rank(rows []Row) {
 
 // RunSuite runs every problem of a suite at the given scale.
 func RunSuite(suite string, scale float64, seed int64) ([]ProblemResult, error) {
+	return runSuite(suite, scale, seed, func(p gen.Problem) (ProblemResult, error) {
+		return RunProblem(p, seed)
+	})
+}
+
+// RunSuitePortfolio runs every problem of a suite with the AUTO portfolio
+// row included.
+func RunSuitePortfolio(suite string, scale float64, seed int64, parallel int) ([]ProblemResult, error) {
+	return runSuite(suite, scale, seed, func(p gen.Problem) (ProblemResult, error) {
+		return RunProblemPortfolio(p, seed, parallel)
+	})
+}
+
+func runSuite(suite string, scale float64, seed int64, run func(gen.Problem) (ProblemResult, error)) ([]ProblemResult, error) {
 	var out []ProblemResult
 	for _, spec := range gen.SuiteSpecs(suite) {
-		p := spec.Generate(scale, seed)
-		r, err := RunProblem(p, seed)
+		r, err := run(spec.Generate(scale, seed))
 		if err != nil {
 			return out, err
 		}
@@ -147,11 +185,14 @@ func WriteTable(w io.Writer, title string, results []ProblemResult) error {
 			pr.Problem.Name,
 			fmt.Sprintf("(%d)", g.N()),
 			fmt.Sprintf("(%d)", g.Nonzeros()),
-			"",
 		}
 		for i, row := range pr.Rows {
+			h := ""
+			if i < len(hdr) {
+				h = hdr[i]
+			}
 			fmt.Fprintf(w, "%-12s %14d %10d %10.2f  %-9s %4d\n",
-				hdr[i], row.Envelope, row.Bandwidth, row.Seconds, row.Algorithm, row.Rank)
+				h, row.Envelope, row.Bandwidth, row.Seconds, row.Algorithm, row.Rank)
 		}
 		fmt.Fprintln(w, line)
 	}

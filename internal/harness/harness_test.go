@@ -75,6 +75,36 @@ func TestRunSuiteSmallScale(t *testing.T) {
 	}
 }
 
+func TestRunProblemPortfolio(t *testing.T) {
+	p := smallProblem(t, "DWT2680")
+	res, err := RunProblemPortfolio(p, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 4 + AUTO", len(res.Rows))
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.Algorithm != AlgAuto {
+		t.Fatalf("last row is %s, want %s", last.Algorithm, AlgAuto)
+	}
+	// The portfolio can never lose to its own contenders on envelope, so
+	// AUTO must rank first (possibly tied, in which case stable ranking
+	// puts the single algorithm first — allow rank ≤ losing contenders).
+	for _, r := range res.Rows[:4] {
+		if last.Envelope > r.Envelope {
+			t.Fatalf("AUTO envelope %d worse than %s %d", last.Envelope, r.Algorithm, r.Envelope)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, "portfolio", []ProblemResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), AlgAuto) {
+		t.Fatal("table missing AUTO row")
+	}
+}
+
 func TestRunFactorization(t *testing.T) {
 	p := smallProblem(t, "BARTH4")
 	rows, err := RunFactorization(p, 2)

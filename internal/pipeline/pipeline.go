@@ -1,0 +1,381 @@
+// Package pipeline implements the parallel portfolio ordering engine: it
+// decomposes a graph into connected components, orders every component
+// concurrently on a bounded worker pool while racing a configurable
+// portfolio of ordering algorithms per component, scores the candidates by
+// envelope size (ties broken by bandwidth, then envelope work, then
+// portfolio position), and stitches the per-component winners into one
+// global permutation.
+//
+// The engine is deterministic: for a fixed graph, portfolio and seed the
+// result is byte-identical regardless of Parallelism or goroutine
+// scheduling, because every (component, algorithm) candidate is computed
+// into its own slot and the winner selection is a pure function of the
+// collected slots. The only exception is an expiring Budget, which skips
+// not-yet-started non-fallback candidates and therefore depends on timing;
+// the fallback (first portfolio entry) always runs, so a valid permutation
+// is produced even with a zero budget.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/perm"
+)
+
+// Canonical algorithm names accepted in Options.Portfolio.
+const (
+	AlgRCM           = "RCM"
+	AlgCM            = "CM"
+	AlgGPS           = "GPS"
+	AlgGK            = "GK"
+	AlgKing          = "KING"
+	AlgSloan         = "SLOAN"
+	AlgSpectral      = "SPECTRAL"
+	AlgSpectralSloan = "SPECTRAL+SLOAN"
+
+	// AlgTrivial marks components of ≤ 2 vertices, where every ordering is
+	// optimal and the portfolio is not run.
+	AlgTrivial = "TRIVIAL"
+)
+
+// DefaultPortfolio returns the default contender set: the paper's
+// combinatorial baselines plus both spectral variants. The first entry is
+// the budget fallback and should stay cheap.
+func DefaultPortfolio() []string {
+	return []string{AlgRCM, AlgGK, AlgGPS, AlgSloan, AlgSpectral, AlgSpectralSloan}
+}
+
+// Options configures Auto.
+type Options struct {
+	// Portfolio lists the algorithms raced on each component, by canonical
+	// name (see the Alg* constants). Empty means DefaultPortfolio. The
+	// first entry is the fallback that always runs even past the Budget.
+	Portfolio []string
+	// Parallelism bounds the worker pool; ≤ 0 means GOMAXPROCS.
+	Parallelism int
+	// Seed drives the spectral solvers; runs are reproducible per seed.
+	Seed int64
+	// Spectral carries eigensolver knobs for the spectral portfolio
+	// entries. Its Seed defaults to Options.Seed when zero.
+	Spectral core.Options
+	// Budget, when positive, soft-limits the run: candidates (other than
+	// each component's fallback) that have not started when the budget
+	// expires are skipped and recorded in the report. Skipping depends on
+	// timing, so budgeted runs trade determinism for latency.
+	Budget time.Duration
+	// Context, when non-nil, cancels the run: Auto returns ctx.Err() and a
+	// nil permutation. Nil means context.Background().
+	Context context.Context
+}
+
+// Candidate reports one algorithm's attempt on one component.
+type Candidate struct {
+	Algorithm string
+	Esize     int64
+	Bandwidth int
+	Ework     int64
+	Seconds   float64
+	// Skipped is true when the budget expired before this candidate
+	// started; Err is set when the algorithm failed (eigensolver
+	// breakdown) or returned an invalid permutation.
+	Skipped bool
+	Err     string
+}
+
+// ComponentReport describes the portfolio outcome on one component.
+type ComponentReport struct {
+	// Index is the component's position in the stitched ordering (0 =
+	// numbered first); components are ordered by decreasing size.
+	Index int
+	Size  int
+	Edges int
+	// Winner is the algorithm whose ordering was kept (AlgTrivial for
+	// components of ≤ 2 vertices).
+	Winner     string
+	Stats      envelope.Stats
+	Candidates []Candidate
+}
+
+// Report describes a whole Auto run.
+type Report struct {
+	Components []ComponentReport
+	// Wins counts stitched winners per algorithm name.
+	Wins map[string]int
+	// Stats are the envelope parameters of the final global ordering.
+	Stats       envelope.Stats
+	Parallelism int
+	Seconds     float64
+}
+
+// orderFunc orders a connected graph.
+type orderFunc func(g *graph.Graph, opt Options) (perm.Perm, error)
+
+func plain(f func(*graph.Graph) perm.Perm) orderFunc {
+	return func(g *graph.Graph, _ Options) (perm.Perm, error) { return f(g), nil }
+}
+
+func spectralOpt(opt Options) core.Options {
+	s := opt.Spectral
+	if s.Seed == 0 {
+		s.Seed = opt.Seed
+	}
+	return s
+}
+
+var registry = map[string]orderFunc{
+	AlgRCM:   plain(order.RCM),
+	AlgCM:    plain(order.CuthillMcKee),
+	AlgGPS:   plain(order.GPS),
+	AlgGK:    plain(order.GK),
+	AlgKing:  plain(order.King),
+	AlgSloan: plain(order.Sloan),
+	AlgSpectral: func(g *graph.Graph, opt Options) (perm.Perm, error) {
+		p, _, err := core.Spectral(g, spectralOpt(opt))
+		return p, err
+	},
+	AlgSpectralSloan: func(g *graph.Graph, opt Options) (perm.Perm, error) {
+		p, _, err := core.SpectralSloan(g, spectralOpt(opt))
+		return p, err
+	},
+}
+
+// Portfolio resolves opt.Portfolio (or the default) against the algorithm
+// registry, returning the names in race order.
+func Portfolio(opt Options) ([]string, error) {
+	names := opt.Portfolio
+	if len(names) == 0 {
+		names = DefaultPortfolio()
+	}
+	for _, name := range names {
+		if _, ok := registry[name]; !ok {
+			return nil, fmt.Errorf("pipeline: unknown portfolio algorithm %q", name)
+		}
+	}
+	return names, nil
+}
+
+// candidate is one (component, algorithm) slot filled by the worker pool.
+type candidate struct {
+	Candidate
+	order perm.Perm
+	stats envelope.Stats
+}
+
+// componentWork is the per-component state shared between stages.
+type componentWork struct {
+	verts []int
+	sub   *graph.Graph
+	old   []int
+	cands []candidate
+}
+
+// Auto computes the portfolio ordering of g. See the package comment for
+// the engine's contract; the returned Report names the winning algorithm
+// and the losing candidates per component.
+func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
+	start := time.Now()
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var deadline time.Time
+	if opt.Budget > 0 {
+		deadline = start.Add(opt.Budget)
+	}
+	names, err := Portfolio(opt)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := Report{Wins: map[string]int{}, Parallelism: workers}
+
+	n := g.N()
+	if n == 0 {
+		rep.Seconds = time.Since(start).Seconds()
+		return perm.Perm{}, rep, nil
+	}
+
+	comps := graph.Components(g)
+	work := make([]*componentWork, len(comps))
+	for i, c := range comps {
+		work[i] = &componentWork{verts: c}
+	}
+
+	// Stage 1: extract subgraphs (parallel over components). Trivial
+	// components (≤ 2 vertices) take a fast path and skip the portfolio —
+	// every ordering of them is optimal.
+	runPool(workers, len(work), func(ci int) {
+		w := work[ci]
+		if len(w.verts) <= 2 {
+			return
+		}
+		w.sub, w.old = g.Subgraph(w.verts)
+	})
+
+	// Stage 2: race the portfolio — one task per (component, algorithm)
+	// pair, so a single huge component still exploits portfolio-width
+	// parallelism. Each task writes only its own slot; no locks needed.
+	type task struct{ ci, ai int }
+	var tasks []task
+	for ci, w := range work {
+		if w.sub == nil {
+			continue
+		}
+		w.cands = make([]candidate, len(names))
+		for ai := range names {
+			tasks = append(tasks, task{ci, ai})
+		}
+	}
+	runPool(workers, len(tasks), func(ti int) {
+		t := tasks[ti]
+		w := work[t.ci]
+		slot := &w.cands[t.ai]
+		slot.Algorithm = names[t.ai]
+		if ctx.Err() != nil {
+			slot.Skipped = true
+			return
+		}
+		// The budget skips everything but each component's fallback
+		// (portfolio position 0), which guarantees a valid result.
+		if t.ai > 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			slot.Skipped = true
+			return
+		}
+		t0 := time.Now()
+		o, err := registry[names[t.ai]](w.sub, opt)
+		slot.Seconds = time.Since(t0).Seconds()
+		if err == nil {
+			err = o.Check()
+		}
+		if err != nil {
+			slot.Err = err.Error()
+			return
+		}
+		s := envelope.Compute(w.sub, o)
+		slot.order = o
+		slot.stats = s
+		slot.Esize = s.Esize
+		slot.Bandwidth = s.Bandwidth
+		slot.Ework = s.Ework
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, rep, err
+	}
+
+	// Stage 3: pick winners and stitch, in deterministic component order.
+	out := make(perm.Perm, 0, n)
+	for ci, w := range work {
+		cr := ComponentReport{Index: ci, Size: len(w.verts)}
+		var local perm.Perm
+		if w.sub == nil {
+			local = perm.Identity(len(w.verts))
+			cr.Winner = AlgTrivial
+			// Reuse the identity stitch below with old = verts.
+			w.old = w.verts
+			if len(w.verts) == 2 {
+				// A 2-vertex component is a single edge; its envelope
+				// parameters are all 1 under any ordering.
+				cr.Edges = 1
+				cr.Stats = envelope.Stats{Esize: 1, Ework: 1, Bandwidth: 1, OneSum: 1, TwoSum: 1, MaxFrontwidth: 1}
+			}
+		} else {
+			cr.Edges = w.sub.M()
+			cr.Candidates = make([]Candidate, len(w.cands))
+			best := -1
+			for ai := range w.cands {
+				cr.Candidates[ai] = w.cands[ai].Candidate
+				if w.cands[ai].order == nil {
+					continue
+				}
+				if best < 0 || beats(&w.cands[ai], &w.cands[best]) {
+					best = ai
+				}
+			}
+			if best < 0 {
+				return nil, rep, fmt.Errorf("pipeline: no portfolio algorithm produced an ordering for component %d (size %d)", ci, len(w.verts))
+			}
+			local = w.cands[best].order
+			cr.Winner = names[best]
+			cr.Stats = w.cands[best].stats
+		}
+		for _, v := range local {
+			out = append(out, int32(w.old[v]))
+		}
+		rep.Wins[cr.Winner]++
+		rep.Components = append(rep.Components, cr)
+	}
+	if err := out.Check(); err != nil {
+		return nil, rep, fmt.Errorf("pipeline: stitched ordering invalid: %w", err)
+	}
+	rep.Stats = envelope.Compute(g, out)
+	rep.Seconds = time.Since(start).Seconds()
+	return out, rep, nil
+}
+
+// beats reports whether candidate a strictly beats b under the scoring
+// order (envelope, bandwidth, work); ties keep the earlier portfolio entry.
+func beats(a, b *candidate) bool {
+	if a.Esize != b.Esize {
+		return a.Esize < b.Esize
+	}
+	if a.Bandwidth != b.Bandwidth {
+		return a.Bandwidth < b.Bandwidth
+	}
+	return a.Ework < b.Ework
+}
+
+// runPool executes f(0..count-1) on at most workers goroutines. It is the
+// single concurrency primitive of the engine; each index is processed by
+// exactly one goroutine.
+func runPool(workers, count int, f func(int)) {
+	if count == 0 {
+		return
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= count {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
