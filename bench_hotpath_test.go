@@ -1,0 +1,125 @@
+// Hot-path microbenchmarks: envelope scoring, subgraph extraction, CSR
+// construction and the portfolio engine on the generated suite. These are
+// the per-candidate costs of the pipeline; cmd/benchjson turns their output
+// into the BENCH_pipeline.json artifact and CI gates the allocation counts.
+package envred_test
+
+import (
+	"testing"
+
+	envred "repro"
+	"repro/internal/envelope"
+	"repro/internal/graph"
+)
+
+// benchDisconnected builds a multi-component graph (a union of grids) used
+// by the subgraph-extraction and portfolio benchmarks.
+func benchDisconnected() (*graph.Graph, [][]int) {
+	b := graph.NewBuilder(30*30 + 20*20 + 10*10)
+	off := 0
+	for _, side := range []int{30, 20, 10} {
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				v := off + r*side + c
+				if c+1 < side {
+					b.AddEdge(v, v+1)
+				}
+				if r+1 < side {
+					b.AddEdge(v, v+side)
+				}
+			}
+		}
+		off += side * side
+	}
+	g := b.Build()
+	return g, graph.Components(g)
+}
+
+// BenchmarkEnvelopeCompute measures the all-stats envelope scoring of one
+// ordering — the cost Auto pays per (component, algorithm) candidate.
+func BenchmarkEnvelopeCompute(b *testing.B) {
+	p := benchProblem(b, "BARTH4")
+	o := envred.RCM(p.G)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = envelope.Compute(p.G, o)
+	}
+}
+
+// BenchmarkEnvelopeEsize measures the envelope-size-only scoring used by
+// Algorithm 1's ascending/descending comparison.
+func BenchmarkEnvelopeEsize(b *testing.B) {
+	p := benchProblem(b, "BARTH4")
+	o := envred.RCM(p.G)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = envelope.Esize(p.G, o)
+	}
+}
+
+// BenchmarkSubgraph measures induced-subgraph extraction of every component
+// of a disconnected graph — the pipeline's stage-1 cost.
+func BenchmarkSubgraph(b *testing.B) {
+	g, comps := benchDisconnected()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range comps {
+			_, _ = g.Subgraph(c)
+		}
+	}
+}
+
+// BenchmarkBuilderBuild measures canonical CSR construction from an edge
+// list.
+func BenchmarkBuilderBuild(b *testing.B) {
+	p := benchProblem(b, "BARTH4")
+	edges := p.G.Edges()
+	n := p.G.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb := graph.NewBuilder(n)
+		for _, e := range edges {
+			bb.AddEdge(e[0], e[1])
+		}
+		_ = bb.Build()
+	}
+}
+
+// BenchmarkAutoSuite runs the portfolio engine on a fixed disconnected
+// graph with the cheap combinatorial portfolio — the pipeline number the
+// BENCH_pipeline.json trajectory tracks.
+func BenchmarkAutoSuite(b *testing.B) {
+	g, _ := benchDisconnected()
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := envred.Auto(g, envred.AutoOptions{
+					Seed:        benchSeed,
+					Parallelism: workers,
+					Portfolio:   []string{envred.AlgRCM, envred.AlgGK, envred.AlgSloan},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("spectral", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _, err := envred.Auto(g, envred.AutoOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// stable BENCH_pipeline.json schema and enforces the repository's
+// allocation gates.
+//
+// Usage:
+//
+//	go test -bench 'Into|AutoSuite' -benchmem -run '^$' ./... |
+//	    go run ./cmd/benchjson -out BENCH_pipeline.json \
+//	        -zero-alloc 'ComputeInto|EsizeBothInto|SubgraphInto' \
+//	        -baseline BENCH_pipeline.json
+//
+// The output schema is versioned and append-only so downstream tooling can
+// track the performance trajectory across PRs:
+//
+//	{
+//	  "schema": "repro/bench_pipeline/v1",
+//	  "baseline": [ {benchmark...} ],   // pre-PR reference, carried forward
+//	  "benchmarks": [
+//	    {"name": "...", "iterations": N,
+//	     "ns_per_op": f, "bytes_per_op": f, "allocs_per_op": f,
+//	     "metrics": {"envelope": f, ...}}
+//	  ]
+//	}
+//
+// -zero-alloc takes a comma-separated list of regular expressions; each
+// pattern must match at least one benchmark (so a renamed or missing
+// kernel benchmark cannot silently drop its gate) and every match must
+// report 0 allocs/op, else the run fails (exit 1) — the CI guard that
+// keeps the fused kernels allocation-free. -baseline carries the pre-PR
+// reference record forward: if the given file has a non-empty "baseline"
+// it is preserved verbatim, otherwise its "benchmarks" become the
+// baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the versioned artifact schema.
+type File struct {
+	Schema     string      `json:"schema"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+const schemaVersion = "repro/bench_pipeline/v1"
+
+// The optional -N suffix is the GOMAXPROCS tag go test appends; the lazy
+// name match keeps it out of the recorded benchmark name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+func loadBaseline(path string) []Benchmark {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // first run: no baseline yet
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: ignoring unreadable baseline %s: %v\n", path, err)
+		return nil
+	}
+	if len(f.Baseline) > 0 {
+		return f.Baseline
+	}
+	return f.Benchmarks
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "BENCH_pipeline.json", "JSON artifact to write")
+	zeroAlloc := flag.String("zero-alloc", "", "comma-separated regexps; each must match ≥1 benchmark and all matches must report 0 allocs/op")
+	baseline := flag.String("baseline", "", "prior artifact whose pre-PR record is carried forward")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing: %v\n", err)
+		os.Exit(2)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(2)
+	}
+
+	file := File{Schema: schemaVersion, Benchmarks: benches}
+	if *baseline != "" {
+		file.Baseline = loadBaseline(*baseline)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(benches))
+
+	if *zeroAlloc != "" {
+		failed := false
+		total := 0
+		for _, pat := range strings.Split(*zeroAlloc, ",") {
+			pat = strings.TrimSpace(pat)
+			if pat == "" {
+				continue
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -zero-alloc regexp %q: %v\n", pat, err)
+				os.Exit(2)
+			}
+			matched := 0
+			for _, b := range benches {
+				if !re.MatchString(b.Name) {
+					continue
+				}
+				matched++
+				if b.AllocsPerOp > 0 {
+					fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION: %s reports %g allocs/op (want 0)\n",
+						b.Name, b.AllocsPerOp)
+					failed = true
+				}
+			}
+			// A gate whose benchmark disappeared (renamed, failed to run)
+			// is a failure, not a pass: every pattern must bite.
+			if matched == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: -zero-alloc gate %q matched no benchmarks\n", pat)
+				failed = true
+			}
+			total += matched
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %d zero-alloc gates passed\n", total)
+	}
+}

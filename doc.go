@@ -60,4 +60,26 @@
 // row placed k-th. See the examples directory for complete programs and
 // cmd/paperbench for the harness that regenerates every table and figure
 // of the paper.
+//
+// # Allocation-free hot paths
+//
+// The measurement and extraction layers have two call surfaces. The public
+// functions here (Stats, Esize, Bandwidth, the ordering constructors) are
+// convenience wrappers: each borrows a pooled workspace, so they are safe,
+// concurrent and moderately fast, but pay pool traffic per call. The
+// internal *Into / *WS variants (envelope.ComputeInto, envelope.EsizeInto,
+// graph.SubgraphInto, order.RCMWS, core.SpectralWS, ...) take an explicit
+// scratch workspace and run with zero steady-state allocations; the
+// parallel engine behind Auto checks one workspace out per worker and
+// threads it through subgraph extraction, every portfolio algorithm and
+// the fused envelope scoring of each candidate.
+//
+// The workspace contract: a workspace must not be shared across goroutines,
+// and buffers obtained from one are only valid until the matching release —
+// never retain them or return them to callers. Results that outlive a call
+// (permutations, extracted subgraphs held across pipeline stages) are
+// always freshly allocated or copied out. testing.AllocsPerRun guards in
+// internal/envelope and internal/graph pin the steady-state envelope
+// scoring and subgraph extraction paths at 0 allocs/op, and CI regenerates
+// the BENCH_pipeline.json artifact and fails if those gates regress.
 package envred

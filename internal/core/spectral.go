@@ -22,6 +22,7 @@ import (
 	"repro/internal/multilevel"
 	"repro/internal/order"
 	"repro/internal/perm"
+	"repro/internal/scratch"
 )
 
 // Method selects how the Fiedler vector is computed.
@@ -67,13 +68,32 @@ type Info struct {
 	Multilevel bool
 	// Components is the number of connected components ordered.
 	Components int
+	// MatVecs counts Laplacian applications across every Lanczos solve of
+	// the run, all components included (multilevel solves are not
+	// instrumented and contribute 0). The SpectralSloan regression tests
+	// use it to prove the hybrid never repeats an eigensolve.
+	MatVecs int
 }
+
+// testHookEigensolve, when non-nil, observes every Fiedler eigensolve with
+// the component size. Tests install it to assert the solver runs exactly
+// once per component.
+var testHookEigensolve func(n int)
 
 // Spectral computes the spectral envelope-reducing ordering of g
 // (Algorithm 1). Disconnected graphs are ordered component by component
 // (each uses the eigenvector of the smallest positive eigenvalue of its own
 // Laplacian, per the paper's remark in §1) and concatenated largest-first.
 func Spectral(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return SpectralWS(ws, g, opt)
+}
+
+// SpectralWS is Spectral with caller-provided scratch: the envelope
+// comparisons and subgraph extractions reuse ws buffers, which the parallel
+// pipeline checks out once per worker.
+func SpectralWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 	n := g.N()
 	info := Info{}
 	if n == 0 {
@@ -81,20 +101,21 @@ func Spectral(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 	}
 	if graph.IsConnected(g) {
 		info.Components = 1
-		o, err := spectralConnected(g, opt, &info, true)
+		o, err := spectralConnected(ws, g, opt, &info, true)
 		return o, info, err
 	}
 	comps := graph.Components(g)
 	info.Components = len(comps)
 	out := make(perm.Perm, 0, n)
+	var sub graph.Graph
 	for ci, comp := range comps {
-		sub, old := g.Subgraph(comp)
-		local, err := spectralConnected(sub, opt, &info, ci == 0)
+		g.SubgraphInto(ws, &sub, comp)
+		local, err := spectralConnected(ws, &sub, opt, &info, ci == 0)
 		if err != nil {
 			return nil, info, fmt.Errorf("core: component %d: %w", ci, err)
 		}
 		for _, v := range local {
-			out = append(out, int32(old[v]))
+			out = append(out, int32(comp[v]))
 		}
 	}
 	return out, info, nil
@@ -111,6 +132,9 @@ func FiedlerVector(g *graph.Graph, opt Options) ([]float64, float64, error) {
 
 func fiedler(g *graph.Graph, opt Options, info *Info, record bool) ([]float64, error) {
 	n := g.N()
+	if testHookEigensolve != nil {
+		testHookEigensolve(n)
+	}
 	useML := false
 	switch opt.Method {
 	case MethodMultilevel:
@@ -145,6 +169,7 @@ func fiedler(g *graph.Graph, opt Options, info *Info, record bool) ([]float64, e
 	}
 	op := laplacian.Auto(g)
 	res, err := lanczos.Fiedler(op, op.GershgorinBound(), lOpt)
+	info.MatVecs += res.MatVecs
 	if err != nil && res.Vector == nil {
 		return nil, err
 	}
@@ -159,7 +184,7 @@ func fiedler(g *graph.Graph, opt Options, info *Info, record bool) ([]float64, e
 	return res.Vector, nil
 }
 
-func spectralConnected(g *graph.Graph, opt Options, info *Info, record bool) (perm.Perm, error) {
+func spectralConnected(ws *scratch.Workspace, g *graph.Graph, opt Options, info *Info, record bool) (perm.Perm, error) {
 	n := g.N()
 	if n == 1 {
 		return perm.Perm{0}, nil
@@ -169,13 +194,14 @@ func spectralConnected(g *graph.Graph, opt Options, info *Info, record bool) (pe
 		return nil, err
 	}
 	asc := OrderByValues(x)
-	desc := asc.Reverse()
 	// Algorithm 1 step 3: take the direction with the smaller envelope.
-	if envelope.Esize(g, desc) < envelope.Esize(g, asc) {
+	// One fused traversal scores both directions off a single inverse.
+	fwd, rev := envelope.EsizeBothInto(ws, g, asc)
+	if rev < fwd {
 		if record {
 			info.Reversed = true
 		}
-		return desc, nil
+		return asc.Reverse(), nil
 	}
 	return asc, nil
 }
@@ -200,7 +226,21 @@ func OrderByValues(x []float64) perm.Perm {
 // spectral positions as the global priority term instead of BFS distances.
 // It returns the better of the hybrid and the plain spectral ordering.
 func SpectralSloan(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
-	spectral, info, err := Spectral(g, opt)
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return SpectralSloanWS(ws, g, opt)
+}
+
+// SpectralSloanWS is SpectralSloan with caller-provided scratch.
+//
+// On disconnected graphs the already-computed global spectral ordering is
+// sliced per component — Spectral concatenates components in
+// graph.Components order, so each slice IS that component's spectral
+// ordering — rather than re-running the eigensolver per component. Errors
+// from the single spectral pass propagate; the refinement itself cannot
+// fail (a component that Sloan cannot improve keeps its spectral slice).
+func SpectralSloanWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, Info, error) {
+	spectral, info, err := SpectralWS(ws, g, opt)
 	if err != nil {
 		return nil, info, err
 	}
@@ -209,34 +249,55 @@ func SpectralSloan(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 		return spectral, info, nil
 	}
 	best := spectral
-	bestEsize := envelope.Esize(g, spectral)
+	bestEsize := envelope.EsizeInto(ws, g, spectral)
 
 	if graph.IsConnected(g) {
 		if hybrid, ok := sloanRefine(g, spectral); ok {
-			if e := envelope.Esize(g, hybrid); e < bestEsize {
+			if e := envelope.EsizeInto(ws, g, hybrid); e < bestEsize {
 				best, bestEsize = hybrid, e
 			}
 		}
 	} else {
-		// Refine per component and concatenate in the same component order
-		// Spectral used.
+		// Refine each component's slice of the global spectral ordering and
+		// concatenate in the same component order Spectral used.
+		comps := graph.Components(g)
 		out := make(perm.Perm, 0, n)
-		for _, comp := range graph.Components(g) {
-			sub, old := g.Subgraph(comp)
-			subSpectral, _, serr := Spectral(sub, opt)
-			if serr != nil {
-				return best, info, nil
+		mark := ws.Mark()
+		// Components come largest-first, so one checkout covers every
+		// component's local-ordering buffer.
+		localBuf := ws.Int32s(len(comps[0]))
+		var sub graph.Graph
+		off := 0
+		for _, comp := range comps {
+			sz := len(comp)
+			seg := spectral[off : off+sz]
+			off += sz
+			if sz <= 2 {
+				out = append(out, seg...)
+				continue
 			}
-			local := subSpectral
-			if hybrid, ok := sloanRefine(sub, subSpectral); ok &&
-				envelope.Esize(sub, hybrid) < envelope.Esize(sub, subSpectral) {
-				local = hybrid
+			g.SubgraphInto(ws, &sub, comp)
+			// Relabel the global slice to component-local labels via the
+			// stamp map SubgraphInto just built (old→new binding).
+			local := perm.Perm(localBuf[:sz])
+			for k, gl := range seg {
+				j, ok := ws.MapGet(int(gl))
+				if !ok {
+					return nil, info, fmt.Errorf("core: spectral ordering does not cover component vertex %d", gl)
+				}
+				local[k] = j
 			}
-			for _, v := range local {
-				out = append(out, int32(old[v]))
+			pick := local
+			if hybrid, ok := sloanRefine(&sub, local); ok &&
+				envelope.EsizeInto(ws, &sub, hybrid) < envelope.EsizeInto(ws, &sub, local) {
+				pick = hybrid
+			}
+			for _, lv := range pick {
+				out = append(out, int32(comp[lv]))
 			}
 		}
-		if e := envelope.Esize(g, out); e < bestEsize {
+		ws.Release(mark)
+		if e := envelope.EsizeInto(ws, g, out); e < bestEsize {
 			best, bestEsize = out, e
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/lanczos"
 	"repro/internal/laplacian"
 	"repro/internal/perm"
+	"repro/internal/scratch"
 )
 
 // WeightedSpectral is Algorithm 1 on the weighted Laplacian: when the
@@ -62,6 +63,7 @@ func weightedConnected(g *graph.Graph, weight func(u, v int) float64, opt Option
 		lOpt.Seed = opt.Seed
 	}
 	res, err := lanczos.Fiedler(op, op.GershgorinBound(), lOpt)
+	info.MatVecs += res.MatVecs
 	if err != nil && res.Vector == nil {
 		return nil, err
 	}
@@ -71,12 +73,14 @@ func weightedConnected(g *graph.Graph, weight func(u, v int) float64, opt Option
 		info.Multilevel = false
 	}
 	asc := OrderByValues(res.Vector)
-	desc := asc.Reverse()
-	if envelope.Esize(g, desc) < envelope.Esize(g, asc) {
+	ws := scratch.Get()
+	fwd, rev := envelope.EsizeBothInto(ws, g, asc)
+	scratch.Put(ws)
+	if rev < fwd {
 		if record {
 			info.Reversed = true
 		}
-		return desc, nil
+		return asc.Reverse(), nil
 	}
 	return asc, nil
 }

@@ -6,6 +6,11 @@
 // These are the objective functions every experiment in Section 4 reports,
 // and the inequalities of Theorem 2.1 hold among them per ordering (see the
 // property tests).
+//
+// The *Into variants are the hot path: they take a scratch.Workspace, fuse
+// every statistic into a single traversal of the ordering, and run with
+// zero steady-state allocations (guarded by AllocsPerRun tests). The plain
+// functions are thin wrappers that borrow a pooled workspace.
 package envelope
 
 import (
@@ -13,6 +18,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/perm"
+	"repro/internal/scratch"
 )
 
 // Stats collects the envelope parameters of a matrix pattern under one
@@ -57,48 +63,83 @@ func RowWidths(g *graph.Graph, order perm.Perm) []int32 {
 // It panics if the ordering length does not match g.N(); use Check for a
 // non-panicking validation.
 func Compute(g *graph.Graph, order perm.Perm) Stats {
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return ComputeInto(ws, g, order)
+}
+
+// ComputeInto is the fused envelope kernel: it produces every Stats field
+// in one traversal of the ordering, using ws for the inverse-permutation
+// and wavefront scratch. Steady state is allocation-free.
+func ComputeInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) Stats {
 	if len(order) != g.N() {
 		panic(fmt.Sprintf("envelope: ordering length %d != n %d", len(order), g.N()))
 	}
-	inv := order.Inverse()
-	var s Stats
+	m := ws.Mark()
+	defer ws.Release(m)
+	n := len(order)
+	inv := ws.Int32s(n)
 	for i, v := range order {
-		first := int32(i)
+		inv[v] = int32(i)
+	}
+	// active[w] tracks whether w is currently in adj(V_j): numbered later
+	// than j but adjacent to some numbered vertex.
+	active := ws.Bools(n)
+	var s Stats
+	front := 0
+	for j, v := range order {
+		if active[v] {
+			active[v] = false
+			front--
+		}
+		first := int32(j)
 		for _, w := range g.Neighbors(int(v)) {
-			if p := inv[w]; p < first {
+			p := inv[w]
+			if p < first {
 				first = p
 			}
+			if int(p) > j {
+				// Each edge is charged once, from its earlier endpoint:
+				// |Δpos| to the 1-sum, Δpos² to the 2-sum.
+				d := int64(p) - int64(j)
+				s.OneSum += d
+				s.TwoSum += d * d
+				if !active[w] {
+					active[w] = true
+					front++
+				}
+			}
 		}
-		r := int64(int32(i) - first)
+		r := int64(int64(j) - int64(first))
 		s.Esize += r
 		s.Ework += r * r
 		if int(r) > s.Bandwidth {
 			s.Bandwidth = int(r)
 		}
-	}
-	// 1-sum and 2-sum over edges: each lower-triangular off-diagonal nonzero
-	// corresponds to exactly one edge and contributes |Δpos| and Δpos².
-	for v := 0; v < g.N(); v++ {
-		pv := int64(inv[v])
-		for _, w := range g.Neighbors(v) {
-			if int(w) > v {
-				d := pv - int64(inv[w])
-				if d < 0 {
-					d = -d
-				}
-				s.OneSum += d
-				s.TwoSum += d * d
-			}
+		if front > s.MaxFrontwidth {
+			s.MaxFrontwidth = front
 		}
 	}
-	s.MaxFrontwidth = maxFrontwidth(g, order, inv)
 	return s
 }
 
 // Esize returns only the envelope size; it is the hot call used by
 // Algorithm 1 to compare the two sort directions.
 func Esize(g *graph.Graph, order perm.Perm) int64 {
-	inv := order.Inverse()
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return EsizeInto(ws, g, order)
+}
+
+// EsizeInto computes the envelope size with ws scratch; steady state is
+// allocation-free.
+func EsizeInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) int64 {
+	m := ws.Mark()
+	defer ws.Release(m)
+	inv := ws.Int32s(len(order))
+	for i, v := range order {
+		inv[v] = int32(i)
+	}
 	var total int64
 	for i, v := range order {
 		first := int32(i)
@@ -112,9 +153,52 @@ func Esize(g *graph.Graph, order perm.Perm) int64 {
 	return total
 }
 
+// EsizeBothInto returns the envelope sizes of order and of its reversal in
+// a single traversal with one shared inverse — the asc-vs-desc comparison
+// of Algorithm 1 step 3 without materializing the reversed permutation.
+//
+// The identity: under the reversal, the vertex at (reversed) position
+// n−1−i has row width max(0, maxp−i) where maxp is the largest original
+// position among the vertex and its neighbors.
+func EsizeBothInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) (fwd, rev int64) {
+	m := ws.Mark()
+	defer ws.Release(m)
+	inv := ws.Int32s(len(order))
+	for i, v := range order {
+		inv[v] = int32(i)
+	}
+	for i, v := range order {
+		minp, maxp := int32(i), int32(i)
+		for _, w := range g.Neighbors(int(v)) {
+			p := inv[w]
+			if p < minp {
+				minp = p
+			}
+			if p > maxp {
+				maxp = p
+			}
+		}
+		fwd += int64(int32(i) - minp)
+		rev += int64(maxp - int32(i))
+	}
+	return fwd, rev
+}
+
 // Bandwidth returns only the bandwidth of the ordering.
 func Bandwidth(g *graph.Graph, order perm.Perm) int {
-	inv := order.Inverse()
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return BandwidthInto(ws, g, order)
+}
+
+// BandwidthInto computes the bandwidth with ws scratch.
+func BandwidthInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) int {
+	m := ws.Mark()
+	defer ws.Release(m)
+	inv := ws.Int32s(len(order))
+	for i, v := range order {
+		inv[v] = int32(i)
+	}
 	bw := 0
 	for i, v := range order {
 		for _, w := range g.Neighbors(int(v)) {
@@ -130,12 +214,17 @@ func Bandwidth(g *graph.Graph, order perm.Perm) int {
 // V_j is the set of the first j+1 vertices in the ordering. Σ out[j] over
 // the profile equals Esize (the identity of §2.4), which the tests verify.
 func Frontwidths(g *graph.Graph, order perm.Perm) []int32 {
+	ws := scratch.Get()
+	defer scratch.Put(ws)
 	n := g.N()
-	inv := order.Inverse()
+	m := ws.Mark()
+	defer ws.Release(m)
+	inv := ws.Int32s(n)
+	for i, v := range order {
+		inv[v] = int32(i)
+	}
 	out := make([]int32, n)
-	// active[w] tracks whether w is currently in adj(V_j): numbered later
-	// than j but adjacent to some numbered vertex.
-	active := make([]bool, n)
+	active := ws.Bools(n)
 	front := int32(0)
 	for j, v := range order {
 		if active[v] {
@@ -152,28 +241,6 @@ func Frontwidths(g *graph.Graph, order perm.Perm) []int32 {
 		out[j] = front
 	}
 	return out
-}
-
-func maxFrontwidth(g *graph.Graph, order perm.Perm, inv perm.Perm) int {
-	n := g.N()
-	active := make([]bool, n)
-	front, max := 0, 0
-	for j, v := range order {
-		if active[v] {
-			active[v] = false
-			front--
-		}
-		for _, w := range g.Neighbors(int(v)) {
-			if int(inv[w]) > j && !active[w] {
-				active[w] = true
-				front++
-			}
-		}
-		if front > max {
-			max = front
-		}
-	}
-	return max
 }
 
 // EworkBound returns the upper bound (1/2)·Σ rᵢ(rᵢ+3) on the flops of an

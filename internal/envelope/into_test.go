@@ -1,0 +1,150 @@
+package envelope
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+	"repro/internal/scratch"
+)
+
+// referenceStats is the original multi-pass computation, kept as the oracle
+// for the fused single-pass kernel.
+func referenceStats(g *graph.Graph, order perm.Perm) Stats {
+	inv := order.Inverse()
+	var s Stats
+	for i, v := range order {
+		first := int32(i)
+		for _, w := range g.Neighbors(int(v)) {
+			if p := inv[w]; p < first {
+				first = p
+			}
+		}
+		r := int64(int32(i) - first)
+		s.Esize += r
+		s.Ework += r * r
+		if int(r) > s.Bandwidth {
+			s.Bandwidth = int(r)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		pv := int64(inv[v])
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v {
+				d := pv - int64(inv[w])
+				if d < 0 {
+					d = -d
+				}
+				s.OneSum += d
+				s.TwoSum += d * d
+			}
+		}
+	}
+	n := g.N()
+	active := make([]bool, n)
+	front, max := 0, 0
+	for j, v := range order {
+		if active[v] {
+			active[v] = false
+			front--
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if int(inv[w]) > j && !active[w] {
+				active[w] = true
+				front++
+			}
+		}
+		if front > max {
+			max = front
+		}
+	}
+	s.MaxFrontwidth = max
+	return s
+}
+
+func TestComputeIntoMatchesReference(t *testing.T) {
+	ws := scratch.New()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(60) + 1
+		g := graph.Random(n, rng.Intn(4*n), rng.Int63())
+		p := perm.Random(n, rng.Int63())
+		got := ComputeInto(ws, g, p)
+		want := referenceStats(g, p)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): fused %+v != reference %+v", trial, n, got, want)
+		}
+	}
+}
+
+func TestEsizeBothIntoMatchesEsize(t *testing.T) {
+	ws := scratch.New()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(50) + 1
+		g := graph.Random(n, rng.Intn(3*n), rng.Int63())
+		p := perm.Random(n, rng.Int63())
+		fwd, rev := EsizeBothInto(ws, g, p)
+		if want := Esize(g, p); fwd != want {
+			t.Fatalf("trial %d: fwd %d != Esize %d", trial, fwd, want)
+		}
+		if want := Esize(g, p.Reverse()); rev != want {
+			t.Fatalf("trial %d: rev %d != Esize(reversed) %d", trial, rev, want)
+		}
+	}
+}
+
+func TestEsizeIntoMatchesCompute(t *testing.T) {
+	ws := scratch.New()
+	g := graph.Grid(8, 9)
+	for seed := int64(0); seed < 5; seed++ {
+		p := perm.Random(72, seed)
+		if got, want := EsizeInto(ws, g, p), ComputeInto(ws, g, p).Esize; got != want {
+			t.Fatalf("seed %d: EsizeInto %d != Compute.Esize %d", seed, got, want)
+		}
+	}
+}
+
+// The allocation guards of the tentpole: steady-state envelope scoring must
+// not allocate at all.
+func TestScoringIsAllocationFree(t *testing.T) {
+	ws := scratch.New()
+	g := graph.Grid(40, 40)
+	p := perm.Random(1600, 3)
+	ComputeInto(ws, g, p) // warm the arenas
+	for name, f := range map[string]func(){
+		"ComputeInto":   func() { ComputeInto(ws, g, p) },
+		"EsizeInto":     func() { EsizeInto(ws, g, p) },
+		"EsizeBothInto": func() { EsizeBothInto(ws, g, p) },
+		"BandwidthInto": func() { BandwidthInto(ws, g, p) },
+	} {
+		if allocs := testing.AllocsPerRun(50, f); allocs != 0 {
+			t.Errorf("%s allocates in steady state: %v allocs/op", name, allocs)
+		}
+	}
+}
+
+func BenchmarkComputeInto(b *testing.B) {
+	ws := scratch.New()
+	g := graph.Grid(100, 100)
+	p := perm.Random(10000, 1)
+	ComputeInto(ws, g, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeInto(ws, g, p)
+	}
+}
+
+func BenchmarkEsizeBothInto(b *testing.B) {
+	ws := scratch.New()
+	g := graph.Grid(100, 100)
+	p := perm.Random(10000, 1)
+	EsizeBothInto(ws, g, p) // warm the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EsizeBothInto(ws, g, p)
+	}
+}

@@ -38,13 +38,28 @@ func (ls *LevelStructure) Size() int { return len(ls.Verts) }
 // NewLevelStructure runs a breadth-first search from root and returns the
 // rooted level structure of root's connected component.
 func NewLevelStructure(g *Graph, root int) *LevelStructure {
+	ls := &LevelStructure{}
+	LevelStructureInto(g, root, ls)
+	return ls
+}
+
+// LevelStructureInto runs a breadth-first search from root into ls, reusing
+// ls's slices when their capacity allows. The pseudo-peripheral searches
+// and the ordering algorithms ping-pong a pair of structures through this
+// to keep their repeated BFS sweeps off the allocator.
+func LevelStructureInto(g *Graph, root int, ls *LevelStructure) {
 	n := g.N()
-	levelOf := make([]int32, n)
+	if cap(ls.LevelOf) >= n {
+		ls.LevelOf = ls.LevelOf[:n]
+	} else {
+		ls.LevelOf = make([]int32, n)
+	}
+	levelOf := ls.LevelOf
 	for i := range levelOf {
 		levelOf[i] = -1
 	}
-	verts := make([]int32, 0, n)
-	offsets := []int32{0}
+	verts := ls.Verts[:0]
+	offsets := append(ls.Offsets[:0], 0)
 
 	levelOf[root] = 0
 	verts = append(verts, int32(root))
@@ -65,7 +80,9 @@ func NewLevelStructure(g *Graph, root int) *LevelStructure {
 		}
 	}
 	offsets = append(offsets, int32(len(verts)))
-	return &LevelStructure{Root: root, LevelOf: levelOf, Verts: verts, Offsets: offsets}
+	ls.Root = root
+	ls.Verts = verts
+	ls.Offsets = offsets
 }
 
 // Eccentricity returns the BFS eccentricity of v within its component.

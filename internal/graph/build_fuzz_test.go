@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzBuildRoundTrip feeds arbitrary edge lists — duplicates, reversed
+// directions and self-loops included — through Builder.Build and checks the
+// canonical-CSR invariants plus a FromCSR round trip. This guards the
+// counting-sort construction: every list sorted and duplicate-free, no
+// self-loops, symmetric adjacency, and re-ingesting the built CSR yields an
+// identical graph.
+func FuzzBuildRoundTrip(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 1, 0, 2, 2, 1, 3})
+	f.Add(uint8(1), []byte{0, 0})
+	f.Add(uint8(6), []byte{5, 0, 0, 5, 5, 0, 3, 3, 2, 4})
+	f.Add(uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, nRaw uint8, raw []byte) {
+		n := int(nRaw%32) + 1
+		b := NewBuilder(n)
+		type edge struct{ u, v int }
+		seen := map[edge]bool{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int(raw[i])%n, int(raw[i+1])%n
+			b.AddEdge(u, v)
+			if u != v {
+				if u > v {
+					u, v = v, u
+				}
+				seen[edge{u, v}] = true
+			}
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Build violated CSR invariants: %v", err)
+		}
+		if g.N() != n {
+			t.Fatalf("N = %d, want %d", g.N(), n)
+		}
+		if g.M() != len(seen) {
+			t.Fatalf("M = %d, want %d distinct edges", g.M(), len(seen))
+		}
+		for e := range seen {
+			if !g.HasEdge(e.u, e.v) || !g.HasEdge(e.v, e.u) {
+				t.Fatalf("edge {%d,%d} lost", e.u, e.v)
+			}
+		}
+		// Round trip: the built CSR must re-ingest unchanged.
+		g2, err := FromCSR(g.Xadj, g.Adj)
+		if err != nil {
+			t.Fatalf("FromCSR rejected Build output: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+		}
+		// And rebuilding from the extracted edges must reproduce the CSR.
+		g3 := FromEdges(n, g.Edges())
+		for v := 0; v < n; v++ {
+			a, c := g.Neighbors(v), g3.Neighbors(v)
+			if len(a) != len(c) {
+				t.Fatalf("rebuild changed degree of %d", v)
+			}
+			for i := range a {
+				if a[i] != c[i] {
+					t.Fatalf("rebuild changed adjacency of %d", v)
+				}
+			}
+		}
+	})
+}

@@ -11,7 +11,10 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+
+	"repro/internal/scratch"
 )
 
 // Graph is an undirected graph in CSR form. The neighbors of vertex v are
@@ -160,11 +163,14 @@ func (b *Builder) AddEdge(u, v int) {
 	b.vs = append(b.vs, int32(v))
 }
 
-// Build produces the canonical CSR graph. The Builder may be reused after
-// Build; already-added edges are retained.
+// Build produces the canonical CSR graph via a two-pass counting sort over
+// the directed arcs — O(n + m), deterministic, no comparison sort. The
+// Builder may be reused after Build; already-added edges are retained.
 func (b *Builder) Build() *Graph {
 	n := b.n
-	// Count both directions, then bucket-place, then dedupe per-list.
+	// Each undirected edge {u,v} contributes the arcs u→v and v→u, so the
+	// multisets of arc sources and arc targets coincide and one prefix-sum
+	// table serves both counting passes.
 	deg := make([]int32, n+1)
 	for i := range b.us {
 		deg[b.us[i]+1]++
@@ -173,36 +179,47 @@ func (b *Builder) Build() *Graph {
 	for v := 0; v < n; v++ {
 		deg[v+1] += deg[v]
 	}
-	adj := make([]int32, deg[n])
-	next := make([]int32, n)
+	nArcs := deg[n]
+	// Pass 1: bucket arcs by target, recording each arc's source.
+	off := make([]int32, n)
+	copy(off, deg[:n])
+	srcByTarget := make([]int32, nArcs)
 	for i := range b.us {
 		u, v := b.us[i], b.vs[i]
-		adj[deg[u]+next[u]] = v
-		next[u]++
-		adj[deg[v]+next[v]] = u
-		next[v]++
+		srcByTarget[off[v]] = u
+		off[v]++
+		srcByTarget[off[u]] = v
+		off[u]++
 	}
-	// Sort and dedupe each list, compacting in place.
+	// Pass 2: scan targets in increasing order and append each to its
+	// source's list. The stable placement leaves every adjacency list
+	// sorted with duplicates adjacent.
+	copy(off, deg[:n])
+	adj := make([]int32, nArcs)
+	for t := 0; t < n; t++ {
+		for k := deg[t]; k < deg[t+1]; k++ {
+			s := srcByTarget[k]
+			adj[off[s]] = int32(t)
+			off[s]++
+		}
+	}
+	// Dedupe each (sorted) list, compacting in place.
 	xadj := make([]int32, n+1)
 	out := int32(0)
 	for v := 0; v < n; v++ {
-		lo, hi := deg[v], deg[v]+next[v]
-		list := adj[lo:hi]
-		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
 		start := out
-		for i, w := range list {
-			if i > 0 && list[i-1] == w {
-				continue
+		prev := int32(-1)
+		for k := deg[v]; k < deg[v+1]; k++ {
+			if w := adj[k]; w != prev {
+				adj[out] = w
+				prev = w
+				out++
 			}
-			adj[out] = w
-			out++
 		}
 		xadj[v] = start
 	}
 	xadj[n] = out
-	// Fix offsets: xadj currently holds starts; shift into standard form.
-	res := &Graph{Xadj: xadj, Adj: append([]int32(nil), adj[:out]...)}
-	return res
+	return &Graph{Xadj: xadj, Adj: append([]int32(nil), adj[:out]...)}
 }
 
 // FromEdges builds a graph on n vertices from an edge list. It is a
@@ -232,18 +249,60 @@ func FromCSR(xadj, adj []int32) (*Graph, error) {
 // the subgraph and the mapping from new labels (positions in verts) back to
 // old labels. Vertices must be distinct and in range.
 func (g *Graph) Subgraph(verts []int) (*Graph, []int) {
-	newLabel := make(map[int]int, len(verts))
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	dst := &Graph{}
+	g.SubgraphInto(ws, dst, verts)
+	old := append([]int(nil), verts...)
+	return dst, old
+}
+
+// SubgraphInto extracts the induced subgraph on verts into dst, reusing
+// dst's CSR slices when their capacity allows; with a warm dst and ws the
+// extraction is allocation-free. The old labels of the result are the
+// entries of verts (new label i ↔ verts[i]); unlike Subgraph no copy of
+// verts is made. Vertices must be distinct and in range; dst must not
+// alias g.
+//
+// Relabeling uses the workspace's stamp map instead of a heap-allocated
+// map, and when verts is sorted ascending (as graph.Components guarantees)
+// the neighbor lists are emitted directly in sorted order with no per-list
+// sort at all.
+//
+// Contract: on return ws's stamp map holds the old→new binding
+// (MapGet(verts[i]) = i, misses elsewhere) until the next MapReset; callers
+// relabeling further data against the same vertex set may rely on it.
+func (g *Graph) SubgraphInto(ws *scratch.Workspace, dst *Graph, verts []int) {
+	nv := len(verts)
+	ws.MapReset(g.N())
+	sorted := true
 	for i, v := range verts {
-		newLabel[v] = i
+		ws.MapSet(v, int32(i))
+		if i > 0 && verts[i-1] >= v {
+			sorted = false
+		}
 	}
-	b := NewBuilder(len(verts))
+	if cap(dst.Xadj) >= nv+1 {
+		dst.Xadj = dst.Xadj[:nv+1]
+	} else {
+		dst.Xadj = make([]int32, nv+1)
+	}
+	adj := dst.Adj[:0]
 	for i, v := range verts {
+		dst.Xadj[i] = int32(len(adj))
 		for _, w := range g.Neighbors(v) {
-			if j, ok := newLabel[int(w)]; ok && j > i {
-				b.AddEdge(i, j)
+			if j, ok := ws.MapGet(int(w)); ok {
+				adj = append(adj, j)
 			}
 		}
 	}
-	old := append([]int(nil), verts...)
-	return b.Build(), old
+	dst.Xadj[nv] = int32(len(adj))
+	dst.Adj = adj
+	if !sorted {
+		// Relabeling by an unsorted verts permutes neighbor values, so each
+		// list must be re-sorted to restore the CSR invariant.
+		for i := 0; i < nv; i++ {
+			slices.Sort(adj[dst.Xadj[i]:dst.Xadj[i+1]])
+		}
+	}
 }

@@ -13,6 +13,7 @@ import "sort"
 func PseudoPeripheral(g *Graph, start int) (int, *LevelStructure) {
 	r := start
 	ls := NewLevelStructure(g, r)
+	spare := &LevelStructure{}
 	for {
 		last := ls.Level(ls.Depth() - 1)
 		// Minimum-degree vertex of the last level.
@@ -22,9 +23,12 @@ func PseudoPeripheral(g *Graph, start int) (int, *LevelStructure) {
 				best = v
 			}
 		}
-		ls2 := NewLevelStructure(g, int(best))
-		if ls2.Depth() > ls.Depth() {
-			r, ls = int(best), ls2
+		// Ping-pong the two structures so the search allocates a bounded
+		// two BFS buffers no matter how many sweeps it takes.
+		LevelStructureInto(g, int(best), spare)
+		if spare.Depth() > ls.Depth() {
+			r = int(best)
+			ls, spare = spare, ls
 			continue
 		}
 		return r, ls
@@ -41,8 +45,11 @@ func PseudoPeripheral(g *Graph, start int) (int, *LevelStructure) {
 // It returns u, v and their rooted level structures.
 func PseudoDiameter(g *Graph, start int) (u, v int, lsU, lsV *LevelStructure) {
 	u, lsU = PseudoPeripheral(g, start)
+	cand := &LevelStructure{}
+	var lastBuf []int32
 	for {
-		last := append([]int32(nil), lsU.Level(lsU.Depth()-1)...)
+		last := append(lastBuf[:0], lsU.Level(lsU.Depth()-1)...)
+		lastBuf = last
 		sort.Slice(last, func(i, j int) bool {
 			di, dj := g.Degree(int(last[i])), g.Degree(int(last[j]))
 			if di != dj {
@@ -62,15 +69,22 @@ func PseudoDiameter(g *Graph, start int) (u, v int, lsU, lsV *LevelStructure) {
 		bestWidth := int(^uint(0) >> 1)
 		var deeper bool
 		for _, c := range cands {
-			ls := NewLevelStructure(g, int(c))
-			if ls.Depth() > lsU.Depth() {
-				u, lsU = int(c), ls
+			// cand, lsU and lsV are three distinct structures rotated by
+			// swap, so each candidate BFS reuses retired storage.
+			LevelStructureInto(g, int(c), cand)
+			if cand.Depth() > lsU.Depth() {
+				u = int(c)
+				lsU, cand = cand, lsU
 				deeper = true
 				break
 			}
-			if w := ls.Width(); w < bestWidth {
+			if w := cand.Width(); w < bestWidth {
 				bestWidth = w
-				v, lsV = int(c), ls
+				v = int(c)
+				if lsV == nil {
+					lsV = &LevelStructure{}
+				}
+				lsV, cand = cand, lsV
 			}
 		}
 		if !deeper {

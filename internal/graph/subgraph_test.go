@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/scratch"
+)
+
+func TestSubgraphIntoMatchesSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ws := scratch.New()
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(40) + 5
+		g := Random(n, rng.Intn(3*n), rng.Int63())
+		// Pick a random subset, sometimes shuffled to hit the unsorted path.
+		var verts []int
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				verts = append(verts, v)
+			}
+		}
+		if len(verts) == 0 {
+			verts = []int{0}
+		}
+		if trial%2 == 1 {
+			rng.Shuffle(len(verts), func(i, j int) { verts[i], verts[j] = verts[j], verts[i] })
+		}
+		want, _ := g.Subgraph(verts)
+		var dst Graph
+		g.SubgraphInto(ws, &dst, verts)
+		if err := dst.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid subgraph: %v", trial, err)
+		}
+		if !slices.Equal(dst.Xadj, want.Xadj) || !slices.Equal(dst.Adj, want.Adj) {
+			t.Fatalf("trial %d: SubgraphInto differs from Subgraph\n got xadj %v adj %v\nwant xadj %v adj %v",
+				trial, dst.Xadj, dst.Adj, want.Xadj, want.Adj)
+		}
+	}
+}
+
+func TestSubgraphIntoReusesDst(t *testing.T) {
+	g := Grid(10, 10)
+	comps := [][]int{}
+	for start := 0; start < 100; start += 25 {
+		var c []int
+		for v := start; v < start+25; v++ {
+			c = append(c, v)
+		}
+		comps = append(comps, c)
+	}
+	ws := scratch.New()
+	var dst Graph
+	g.SubgraphInto(ws, &dst, comps[0])
+	adj0 := &dst.Adj[0]
+	g.SubgraphInto(ws, &dst, comps[1])
+	if &dst.Adj[0] != adj0 {
+		t.Fatal("SubgraphInto did not reuse dst's Adj storage")
+	}
+}
+
+// The tentpole's second allocation guard: steady-state subgraph extraction
+// must not allocate.
+func TestSubgraphIntoIsAllocationFree(t *testing.T) {
+	g := Grid(30, 30)
+	verts := make([]int, 0, 450)
+	for v := 0; v < 900; v += 2 {
+		verts = append(verts, v)
+	}
+	ws := scratch.New()
+	var dst Graph
+	g.SubgraphInto(ws, &dst, verts) // warm dst and the stamp map
+	allocs := testing.AllocsPerRun(50, func() {
+		g.SubgraphInto(ws, &dst, verts)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SubgraphInto allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestSubgraphIntoEmptyVerts(t *testing.T) {
+	g := Grid(3, 3)
+	ws := scratch.New()
+	var dst Graph
+	g.SubgraphInto(ws, &dst, nil)
+	if dst.N() != 0 || len(dst.Adj) != 0 {
+		t.Fatalf("empty extraction: n=%d adj=%v", dst.N(), dst.Adj)
+	}
+}
+
+func BenchmarkSubgraphInto(b *testing.B) {
+	g := Grid(40, 40)
+	verts := make([]int, 0, 800)
+	for v := 0; v < 1600; v += 2 {
+		verts = append(verts, v)
+	}
+	ws := scratch.New()
+	var dst Graph
+	g.SubgraphInto(ws, &dst, verts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SubgraphInto(ws, &dst, verts)
+	}
+}

@@ -98,6 +98,7 @@ func Fiedler(A linalg.Operator, scale float64, opt Options) (Result, error) {
 	var res Result
 	tol := opt.Tol * scale
 	x := start
+	var r []float64
 	for cycle := 0; cycle < opt.MaxRestarts; cycle++ {
 		lambda, vec, mv, err := cycleLanczos(A, x, opt.MaxBasis)
 		res.MatVecs += mv
@@ -105,8 +106,8 @@ func Fiedler(A linalg.Operator, scale float64, opt Options) (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		// Residual check.
-		r := make([]float64, n)
+		// Residual check; the residual vector is reused across restarts.
+		r = linalg.Grow(r, n)
 		A.Apply(vec, r)
 		res.MatVecs++
 		linalg.Axpy(-lambda, vec, r)

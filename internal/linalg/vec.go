@@ -10,6 +10,17 @@ package linalg
 
 import "math"
 
+// Grow returns a length-n slice reusing buf's backing array when its
+// capacity allows; contents are unspecified. It is the float64 analogue of
+// the int32/bool arenas in internal/scratch and lets iterative solvers keep
+// their per-cycle work vectors off the allocator.
+func Grow(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
 // Dot returns xᵀy. The slices must have equal length.
 func Dot(x, y []float64) float64 {
 	var s float64

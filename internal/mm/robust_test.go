@@ -1,0 +1,95 @@
+package mm
+
+import (
+	"strings"
+	"testing"
+)
+
+const robustBody = `%%MatrixMarket matrix coordinate real symmetric
+% a comment line
+4 4 4
+2 1 1.5
+3 2 -2.0
+4 3 0.5
+4 4 9.0
+`
+
+// Every reader must accept CRLF line endings — files prepared on Windows —
+// and files whose final line is not newline-terminated.
+func TestReadersTolerateCRLFAndMissingFinalNewline(t *testing.T) {
+	variants := map[string]string{
+		"unix":              robustBody,
+		"crlf":              strings.ReplaceAll(robustBody, "\n", "\r\n"),
+		"no final newline":  strings.TrimSuffix(robustBody, "\n"),
+		"crlf, no final nl": strings.TrimSuffix(strings.ReplaceAll(robustBody, "\n", "\r\n"), "\r\n"),
+	}
+	for name, body := range variants {
+		g, err := ReadGraph(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("ReadGraph(%s): %v", name, err)
+		}
+		if g.N() != 4 || g.M() != 3 {
+			t.Fatalf("ReadGraph(%s): n=%d m=%d, want 4/3", name, g.N(), g.M())
+		}
+		gw, weight, err := ReadWeighted(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("ReadWeighted(%s): %v", name, err)
+		}
+		if gw.N() != 4 || gw.M() != 3 {
+			t.Fatalf("ReadWeighted(%s): n=%d m=%d, want 4/3", name, gw.N(), gw.M())
+		}
+		if w := weight(1, 0); w != 1.5 {
+			t.Fatalf("ReadWeighted(%s): weight(1,0) = %v, want 1.5", name, w)
+		}
+		if w := weight(2, 1); w != 2.0 {
+			t.Fatalf("ReadWeighted(%s): weight(2,1) = %v, want |−2.0|", name, w)
+		}
+	}
+}
+
+// A file that declares more entries than it contains must fail with a
+// truncation error, not hang or succeed silently.
+func TestReadersRejectTruncatedFile(t *testing.T) {
+	truncated := `%%MatrixMarket matrix coordinate pattern symmetric
+5 5 10
+2 1
+3 1
+`
+	if _, err := ReadGraph(strings.NewReader(truncated)); err == nil {
+		t.Fatal("ReadGraph accepted a truncated file")
+	} else if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("ReadGraph truncation error unhelpful: %v", err)
+	}
+	if _, _, err := ReadWeighted(strings.NewReader(truncated)); err == nil {
+		t.Fatal("ReadWeighted accepted a truncated file")
+	}
+	// Truncation right after the size line, without a trailing newline.
+	if _, err := ReadGraph(strings.NewReader("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2")); err == nil {
+		t.Fatal("ReadGraph accepted a file with no entries for nnz=2")
+	}
+	// Truncation before the size line.
+	if _, err := ReadGraph(strings.NewReader("%%MatrixMarket matrix coordinate pattern symmetric\n% only comments")); err == nil {
+		t.Fatal("ReadGraph accepted a file with no size line")
+	}
+}
+
+// CRLF must also survive a WriteGraph → ReadGraph round trip when the
+// written bytes are re-encoded with Windows line endings.
+func TestRoundTripThroughCRLF(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader(robustBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	crlf := strings.ReplaceAll(sb.String(), "\n", "\r\n")
+	g2, err := ReadGraph(strings.NewReader(crlf))
+	if err != nil {
+		t.Fatalf("re-reading CRLF-encoded output: %v", err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+}

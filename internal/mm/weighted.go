@@ -1,7 +1,6 @@
 package mm
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"math"
@@ -20,8 +19,8 @@ import (
 // Zero-valued stored entries receive the smallest positive stored
 // magnitude so the weight function stays positive on the pattern.
 func ReadWeighted(r io.Reader) (*graph.Graph, func(u, v int) float64, error) {
-	br := bufio.NewReader(r)
-	header, err := br.ReadString('\n')
+	lr := newLineReader(r)
+	header, err := lr.next()
 	if err != nil {
 		return nil, nil, fmt.Errorf("mm: reading header: %w", err)
 	}
@@ -35,21 +34,9 @@ func ReadWeighted(r io.Reader) (*graph.Graph, func(u, v int) float64, error) {
 	valType := fields[3]
 	hasValues := valType == "real" || valType == "integer" || valType == "complex"
 
-	var sizeLine string
-	for {
-		line, err := br.ReadString('\n')
-		if err != nil && line == "" {
-			return nil, nil, fmt.Errorf("mm: missing size line: %w", err)
-		}
-		t := strings.TrimSpace(line)
-		if t == "" || strings.HasPrefix(t, "%") {
-			if err != nil {
-				return nil, nil, fmt.Errorf("mm: missing size line")
-			}
-			continue
-		}
-		sizeLine = t
-		break
+	sizeLine, err := lr.sizeLine()
+	if err != nil {
+		return nil, nil, err
 	}
 	var rows, cols, nnz int
 	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
@@ -70,60 +57,58 @@ func ReadWeighted(r io.Reader) (*graph.Graph, func(u, v int) float64, error) {
 	read := 0
 	minPos := math.Inf(1)
 	for read < nnz {
-		line, err := br.ReadString('\n')
-		t := strings.TrimSpace(line)
-		if t != "" && !strings.HasPrefix(t, "%") {
-			f := strings.Fields(t)
-			if len(f) < 2 {
-				return nil, nil, fmt.Errorf("mm: bad entry line %q", t)
-			}
-			i, err1 := strconv.Atoi(f[0])
-			j, err2 := strconv.Atoi(f[1])
-			if err1 != nil || err2 != nil {
-				return nil, nil, fmt.Errorf("mm: bad indices in %q", t)
-			}
-			if i < 1 || i > rows || j < 1 || j > rows {
-				return nil, nil, fmt.Errorf("mm: entry (%d,%d) out of range [1,%d]", i, j, rows)
-			}
-			w := 1.0
-			if hasValues {
-				if len(f) < 3 {
-					return nil, nil, fmt.Errorf("mm: missing value in %q", t)
-				}
-				v, err := strconv.ParseFloat(f[2], 64)
-				if err != nil {
-					return nil, nil, fmt.Errorf("mm: bad value in %q: %w", t, err)
-				}
-				w = math.Abs(v)
-				if valType == "complex" && len(f) >= 4 {
-					im, err := strconv.ParseFloat(f[3], 64)
-					if err != nil {
-						return nil, nil, fmt.Errorf("mm: bad imaginary part in %q: %w", t, err)
-					}
-					w = math.Hypot(v, im)
-				}
-			}
-			if i != j {
-				b.AddEdge(i-1, j-1)
-				k := key(i-1, j-1)
-				if w > weights[k] {
-					weights[k] = w
-				}
-				if w > 0 && w < minPos {
-					minPos = w
-				}
-			}
-			read++
-		}
+		line, err := lr.next()
 		if err != nil {
-			if err == io.EOF && read == nnz {
-				break
-			}
 			if err == io.EOF {
-				return nil, nil, fmt.Errorf("mm: expected %d entries, got %d", nnz, read)
+				return nil, nil, fmt.Errorf("mm: expected %d entries, got %d (truncated file?)", nnz, read)
 			}
 			return nil, nil, fmt.Errorf("mm: %w", err)
 		}
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "%") {
+			continue
+		}
+		f := strings.Fields(t)
+		if len(f) < 2 {
+			return nil, nil, fmt.Errorf("mm: bad entry line %q", t)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return nil, nil, fmt.Errorf("mm: bad indices in %q", t)
+		}
+		if i < 1 || i > rows || j < 1 || j > rows {
+			return nil, nil, fmt.Errorf("mm: entry (%d,%d) out of range [1,%d]", i, j, rows)
+		}
+		w := 1.0
+		if hasValues {
+			if len(f) < 3 {
+				return nil, nil, fmt.Errorf("mm: missing value in %q", t)
+			}
+			v, err := strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mm: bad value in %q: %w", t, err)
+			}
+			w = math.Abs(v)
+			if valType == "complex" && len(f) >= 4 {
+				im, err := strconv.ParseFloat(f[3], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("mm: bad imaginary part in %q: %w", t, err)
+				}
+				w = math.Hypot(v, im)
+			}
+		}
+		if i != j {
+			b.AddEdge(i-1, j-1)
+			k := key(i-1, j-1)
+			if w > weights[k] {
+				weights[k] = w
+			}
+			if w > 0 && w < minPos {
+				minPos = w
+			}
+		}
+		read++
 	}
 	if math.IsInf(minPos, 1) {
 		minPos = 1

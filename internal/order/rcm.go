@@ -8,19 +8,26 @@
 // independently (largest first, matching internal/graph.Components) and
 // concatenating. All return permutations in the repository's new→old
 // convention.
+//
+// The *WS variants take a scratch.Workspace and are what the parallel
+// pipeline calls: component extraction and the BFS bookkeeping run off
+// reusable arenas instead of per-call allocations. The plain functions
+// borrow a pooled workspace and are otherwise identical.
 package order
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/perm"
+	"repro/internal/scratch"
 )
 
 // overComponents runs a per-component ordering function over every
 // connected component of g and concatenates the results. f receives the
 // component subgraph and must return a new→old ordering of it; old labels
-// are translated back to g's labels.
+// are translated back to g's labels. Component subgraphs are extracted
+// into one reused buffer, so f must not retain its argument.
 func overComponents(g *graph.Graph, f func(*graph.Graph) []int32) perm.Perm {
 	if graph.IsConnected(g) {
 		local := f(g)
@@ -28,67 +35,108 @@ func overComponents(g *graph.Graph, f func(*graph.Graph) []int32) perm.Perm {
 		copy(out, local)
 		return out
 	}
+	ws := scratch.Get()
+	defer scratch.Put(ws)
 	out := make(perm.Perm, 0, g.N())
+	var sub graph.Graph
 	for _, comp := range graph.Components(g) {
-		sub, old := g.Subgraph(comp)
-		for _, v := range f(sub) {
-			out = append(out, int32(old[v]))
+		g.SubgraphInto(ws, &sub, comp)
+		for _, v := range f(&sub) {
+			out = append(out, int32(comp[v]))
 		}
 	}
 	return out
 }
 
-// cmComponent computes the Cuthill–McKee ordering of a connected graph:
-// start from a pseudo-peripheral vertex; number vertices level by level,
-// visiting each numbered vertex's unnumbered neighbors in order of
+// overComponentsWS is the workspace-threaded dispatch: f appends its
+// component ordering (in component-local labels) to out and returns the
+// extended slice; labels are translated to g's in place afterwards.
+func overComponentsWS(ws *scratch.Workspace, g *graph.Graph, f func(ws *scratch.Workspace, sub *graph.Graph, out []int32) []int32) perm.Perm {
+	n := g.N()
+	out := make([]int32, 0, n)
+	if graph.IsConnected(g) {
+		return perm.Perm(f(ws, g, out))
+	}
+	var sub graph.Graph
+	for _, comp := range graph.Components(g) {
+		start := len(out)
+		g.SubgraphInto(ws, &sub, comp)
+		out = f(ws, &sub, out)
+		for i := start; i < len(out); i++ {
+			out[i] = int32(comp[out[i]])
+		}
+	}
+	return perm.Perm(out)
+}
+
+// cmComponentInto appends the Cuthill–McKee ordering of a connected graph
+// to out: start from a pseudo-peripheral vertex; number vertices level by
+// level, visiting each numbered vertex's unnumbered neighbors in order of
 // increasing degree (ties by label). The result is an adjacency ordering
 // (§2.4 of the paper).
-func cmComponent(g *graph.Graph) []int32 {
+func cmComponentInto(ws *scratch.Workspace, g *graph.Graph, out []int32) []int32 {
 	n := g.N()
 	if n == 0 {
-		return nil
+		return out
 	}
+	m := ws.Mark()
+	defer ws.Release(m)
 	root, _ := graph.PseudoPeripheral(g, 0)
-	order := make([]int32, 0, n)
-	numbered := make([]bool, n)
-	order = append(order, int32(root))
+	numbered := ws.Bools(n)
+	buf := ws.Int32s(n)
+	head := len(out)
+	out = append(out, int32(root))
 	numbered[root] = true
-	var buf []int32
-	for head := 0; head < len(order); head++ {
-		v := order[head]
-		buf = buf[:0]
+	for ; head < len(out); head++ {
+		v := out[head]
+		k := 0
 		for _, w := range g.Neighbors(int(v)) {
 			if !numbered[w] {
-				buf = append(buf, w)
+				buf[k] = w
+				k++
 				numbered[w] = true
 			}
 		}
-		sort.Slice(buf, func(i, j int) bool {
-			di, dj := g.Degree(int(buf[i])), g.Degree(int(buf[j]))
-			if di != dj {
-				return di < dj
+		slices.SortFunc(buf[:k], func(a, b int32) int {
+			if da, db := g.Degree(int(a)), g.Degree(int(b)); da != db {
+				return da - db
 			}
-			return buf[i] < buf[j]
+			return int(a - b)
 		})
-		order = append(order, buf...)
+		out = append(out, buf[:k]...)
 	}
-	return order
+	return out
 }
 
 // CuthillMcKee returns the Cuthill–McKee ordering of g.
 func CuthillMcKee(g *graph.Graph) perm.Perm {
-	return overComponents(g, cmComponent)
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return CuthillMcKeeWS(ws, g)
+}
+
+// CuthillMcKeeWS is CuthillMcKee with caller-provided scratch.
+func CuthillMcKeeWS(ws *scratch.Workspace, g *graph.Graph) perm.Perm {
+	return overComponentsWS(ws, g, cmComponentInto)
 }
 
 // RCM returns the reverse Cuthill–McKee ordering — the SPARSPAK standard
 // the paper benchmarks. Reversal leaves the bandwidth unchanged but never
 // increases (and usually shrinks) the envelope (Liu & Sherman 1976).
 func RCM(g *graph.Graph) perm.Perm {
-	return overComponents(g, func(sub *graph.Graph) []int32 {
-		o := cmComponent(sub)
-		for i, j := 0, len(o)-1; i < j; i, j = i+1, j-1 {
-			o[i], o[j] = o[j], o[i]
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return RCMWS(ws, g)
+}
+
+// RCMWS is RCM with caller-provided scratch.
+func RCMWS(ws *scratch.Workspace, g *graph.Graph) perm.Perm {
+	return overComponentsWS(ws, g, func(ws *scratch.Workspace, sub *graph.Graph, out []int32) []int32 {
+		start := len(out)
+		out = cmComponentInto(ws, sub, out)
+		for i, j := start, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
 		}
-		return o
+		return out
 	})
 }

@@ -1,10 +1,9 @@
 package order
 
 import (
-	"container/heap"
-
 	"repro/internal/graph"
 	"repro/internal/perm"
+	"repro/internal/scratch"
 )
 
 // SloanWeights are the priority weights of Sloan's algorithm. The priority
@@ -26,29 +25,35 @@ func DefaultSloanWeights() SloanWeights { return SloanWeights{W1: 1, W2: 2} }
 // internal/core uses this machinery with spectral positions as the global
 // term.
 func Sloan(g *graph.Graph) perm.Perm {
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return SloanWS(ws, g)
+}
+
+// SloanWS is Sloan with caller-provided scratch.
+func SloanWS(ws *scratch.Workspace, g *graph.Graph) perm.Perm {
 	w := DefaultSloanWeights()
-	return overComponents(g, func(sub *graph.Graph) []int32 {
+	return overComponentsWS(ws, g, func(ws *scratch.Workspace, sub *graph.Graph, out []int32) []int32 {
 		if sub.N() == 0 {
-			return nil
+			return out
 		}
 		if sub.N() == 1 {
-			return []int32{0}
+			return append(out, 0)
 		}
 		// Numbering starts at endpoint u of a pseudo-diameter; the global
 		// priority term is the BFS distance to the far endpoint v, which is
 		// exactly lsV.LevelOf (lsV is rooted at v).
 		u, _, _, lsV := graph.PseudoDiameter(sub, 0)
-		return sloanComponent(sub, u, lsV.LevelOf, w)
+		return sloanComponentInto(ws, sub, u, lsV.LevelOf, w, out)
 	})
 }
 
-// sloanStatus is a vertex state in Sloan's algorithm.
-type sloanStatus uint8
-
+// Vertex states of Sloan's algorithm. Widened to int32 so the status array
+// can live in a workspace's int32 arena.
 const (
-	sloanInactive  sloanStatus = iota // far from the front
-	sloanPreactive                    // neighbor of an active/numbered vertex
-	sloanActive                       // in the front (unnumbered, adjacent to numbered)
+	sloanInactive  int32 = iota // far from the front
+	sloanPreactive              // neighbor of an active/numbered vertex
+	sloanActive                 // in the front (unnumbered, adjacent to numbered)
 	sloanNumbered
 )
 
@@ -58,10 +63,13 @@ type sloanItem struct {
 	v    int32
 }
 
+// sloanHeap is a typed max-heap on (priority, −degree, −label). It
+// re-implements the sift operations of container/heap to avoid the
+// interface boxing of heap.Push/Pop, which allocated once per push on the
+// hottest loop of the algorithm.
 type sloanHeap []sloanItem
 
-func (h sloanHeap) Len() int { return len(h) }
-func (h sloanHeap) Less(i, j int) bool {
+func (h sloanHeap) less(i, j int) bool {
 	if h[i].prio != h[j].prio {
 		return h[i].prio > h[j].prio // max-heap on priority
 	}
@@ -70,32 +78,70 @@ func (h sloanHeap) Less(i, j int) bool {
 	}
 	return h[i].v < h[j].v
 }
-func (h sloanHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *sloanHeap) Push(x any)   { *h = append(*h, x.(sloanItem)) }
-func (h *sloanHeap) Pop() any {
-	old := *h
-	it := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return it
+
+func (h *sloanHeap) push(it sloanItem) {
+	*h = append(*h, it)
+	// Sift up.
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !s.less(j, parent) {
+			break
+		}
+		s[j], s[parent] = s[parent], s[j]
+		j = parent
+	}
 }
 
-// sloanComponent runs Sloan's numbering on a connected graph. dist holds
-// the global term (distance to the end vertex in classic Sloan; scaled
-// spectral ranks in the hybrid); start is the first vertex numbered.
-func sloanComponent(g *graph.Graph, start int, dist []int32, w SloanWeights) []int32 {
+func (h *sloanHeap) pop() sloanItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(s) && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
+
+// sloanComponentInto runs Sloan's numbering on a connected graph, appending
+// to out. dist holds the global term (distance to the end vertex in classic
+// Sloan; scaled spectral ranks in the hybrid); start is the first vertex
+// numbered.
+func sloanComponentInto(ws *scratch.Workspace, g *graph.Graph, start int, dist []int32, w SloanWeights, out []int32) []int32 {
 	n := g.N()
-	status := make([]sloanStatus, n)
+	m := ws.Mark()
+	defer ws.Release(m)
+	status := ws.Int32s(n)
 	// prio[v] = W1·dist[v] − W2·(cdeg(v)+1); cdeg decrements are folded in
 	// as +W2 bumps, matching Sloan's published update rules.
-	prio := make([]int32, n)
+	prio := ws.Int32s(n)
 	for v := 0; v < n; v++ {
+		status[v] = sloanInactive
 		prio[v] = w.W1*dist[v] - w.W2*int32(g.Degree(v)+1)
 	}
+	first := len(out)
 	h := make(sloanHeap, 0, n)
-	order := make([]int32, 0, n)
 
 	push := func(v int32) {
-		heap.Push(&h, sloanItem{prio[v], int32(g.Degree(int(v))), v})
+		h.push(sloanItem{prio[v], int32(g.Degree(int(v))), v})
 	}
 	bump := func(v int32, delta int32) {
 		prio[v] += delta
@@ -106,12 +152,12 @@ func sloanComponent(g *graph.Graph, start int, dist []int32, w SloanWeights) []i
 
 	status[start] = sloanPreactive
 	push(int32(start))
-	for len(order) < n {
+	for len(out)-first < n {
 		// Pop the highest-priority pre-active/active vertex, skipping stale
 		// entries.
 		var v int32 = -1
-		for h.Len() > 0 {
-			it := heap.Pop(&h).(sloanItem)
+		for len(h) > 0 {
+			it := h.pop()
 			if status[it.v] == sloanNumbered || prio[it.v] != it.prio {
 				continue
 			}
@@ -136,7 +182,7 @@ func sloanComponent(g *graph.Graph, start int, dist []int32, w SloanWeights) []i
 			}
 		}
 		status[v] = sloanNumbered
-		order = append(order, v)
+		out = append(out, v)
 		// Activate v's neighbors: a pre-active neighbor u becomes active;
 		// u's neighbors get a priority bump and become at least pre-active.
 		for _, u := range g.Neighbors(int(v)) {
@@ -157,15 +203,17 @@ func sloanComponent(g *graph.Graph, start int, dist []int32, w SloanWeights) []i
 			}
 		}
 	}
-	return order
+	return out
 }
 
-// SloanOrderWithGlobal exposes sloanComponent for a connected graph with an
-// arbitrary global priority vector; the spectral–Sloan hybrid in
+// SloanOrderWithGlobal exposes the Sloan numbering for a connected graph
+// with an arbitrary global priority vector; the spectral–Sloan hybrid in
 // internal/core is its consumer.
 func SloanOrderWithGlobal(g *graph.Graph, start int, global []int32, w SloanWeights) ([]int32, bool) {
 	if !graph.IsConnected(g) {
 		return nil, false
 	}
-	return sloanComponent(g, start, global, w), true
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return sloanComponentInto(ws, g, start, global, w, make([]int32, 0, g.N())), true
 }

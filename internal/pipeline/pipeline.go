@@ -28,6 +28,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/perm"
+	"repro/internal/scratch"
 )
 
 // Canonical algorithm names accepted in Options.Portfolio.
@@ -115,11 +116,16 @@ type Report struct {
 	Seconds     float64
 }
 
-// orderFunc orders a connected graph.
-type orderFunc func(g *graph.Graph, opt Options) (perm.Perm, error)
+// orderFunc orders a connected graph. The workspace is the calling worker's
+// scratch; implementations must not retain it or any buffer from it.
+type orderFunc func(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, error)
 
 func plain(f func(*graph.Graph) perm.Perm) orderFunc {
-	return func(g *graph.Graph, _ Options) (perm.Perm, error) { return f(g), nil }
+	return func(_ *scratch.Workspace, g *graph.Graph, _ Options) (perm.Perm, error) { return f(g), nil }
+}
+
+func plainWS(f func(*scratch.Workspace, *graph.Graph) perm.Perm) orderFunc {
+	return func(ws *scratch.Workspace, g *graph.Graph, _ Options) (perm.Perm, error) { return f(ws, g), nil }
 }
 
 func spectralOpt(opt Options) core.Options {
@@ -131,18 +137,18 @@ func spectralOpt(opt Options) core.Options {
 }
 
 var registry = map[string]orderFunc{
-	AlgRCM:   plain(order.RCM),
-	AlgCM:    plain(order.CuthillMcKee),
+	AlgRCM:   plainWS(order.RCMWS),
+	AlgCM:    plainWS(order.CuthillMcKeeWS),
 	AlgGPS:   plain(order.GPS),
 	AlgGK:    plain(order.GK),
 	AlgKing:  plain(order.King),
-	AlgSloan: plain(order.Sloan),
-	AlgSpectral: func(g *graph.Graph, opt Options) (perm.Perm, error) {
-		p, _, err := core.Spectral(g, spectralOpt(opt))
+	AlgSloan: plainWS(order.SloanWS),
+	AlgSpectral: func(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, error) {
+		p, _, err := core.SpectralWS(ws, g, spectralOpt(opt))
 		return p, err
 	},
-	AlgSpectralSloan: func(g *graph.Graph, opt Options) (perm.Perm, error) {
-		p, _, err := core.SpectralSloan(g, spectralOpt(opt))
+	AlgSpectralSloan: func(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, error) {
+		p, _, err := core.SpectralSloanWS(ws, g, spectralOpt(opt))
 		return p, err
 	},
 }
@@ -214,13 +220,17 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 
 	// Stage 1: extract subgraphs (parallel over components). Trivial
 	// components (≤ 2 vertices) take a fast path and skip the portfolio —
-	// every ordering of them is optimal.
-	runPool(workers, len(work), func(ci int) {
+	// every ordering of them is optimal. The extracted CSR is retained
+	// across stages, so each component gets its own Graph, but the
+	// relabeling runs off the worker's stamp map — no per-component map.
+	runPool(workers, len(work), func(ci int, ws *scratch.Workspace) {
 		w := work[ci]
 		if len(w.verts) <= 2 {
 			return
 		}
-		w.sub, w.old = g.Subgraph(w.verts)
+		w.sub = &graph.Graph{}
+		g.SubgraphInto(ws, w.sub, w.verts)
+		w.old = w.verts
 	})
 
 	// Stage 2: race the portfolio — one task per (component, algorithm)
@@ -237,7 +247,7 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 			tasks = append(tasks, task{ci, ai})
 		}
 	}
-	runPool(workers, len(tasks), func(ti int) {
+	runPool(workers, len(tasks), func(ti int, ws *scratch.Workspace) {
 		t := tasks[ti]
 		w := work[t.ci]
 		slot := &w.cands[t.ai]
@@ -253,7 +263,7 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 			return
 		}
 		t0 := time.Now()
-		o, err := registry[names[t.ai]](w.sub, opt)
+		o, err := registry[names[t.ai]](ws, w.sub, opt)
 		slot.Seconds = time.Since(t0).Seconds()
 		if err == nil {
 			err = o.Check()
@@ -262,7 +272,7 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 			slot.Err = err.Error()
 			return
 		}
-		s := envelope.Compute(w.sub, o)
+		s := envelope.ComputeInto(ws, w.sub, o)
 		slot.order = o
 		slot.stats = s
 		slot.Esize = s.Esize
@@ -337,8 +347,10 @@ func beats(a, b *candidate) bool {
 
 // runPool executes f(0..count-1) on at most workers goroutines. It is the
 // single concurrency primitive of the engine; each index is processed by
-// exactly one goroutine.
-func runPool(workers, count int, f func(int)) {
+// exactly one goroutine. Every worker checks one Workspace out of the
+// shared scratch pool for its whole lifetime, so steady-state scoring and
+// extraction run without allocations and without cross-worker sharing.
+func runPool(workers, count int, f func(int, *scratch.Workspace)) {
 	if count == 0 {
 		return
 	}
@@ -346,8 +358,10 @@ func runPool(workers, count int, f func(int)) {
 		workers = count
 	}
 	if workers <= 1 {
+		ws := scratch.Get()
+		defer scratch.Put(ws)
 		for i := 0; i < count; i++ {
-			f(i)
+			f(i, ws)
 		}
 		return
 	}
@@ -368,12 +382,14 @@ func runPool(workers, count int, f func(int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ws := scratch.Get()
+			defer scratch.Put(ws)
 			for {
 				i := take()
 				if i < 0 {
 					return
 				}
-				f(i)
+				f(i, ws)
 			}
 		}()
 	}

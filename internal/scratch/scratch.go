@@ -1,0 +1,150 @@
+// Package scratch provides reusable per-worker scratch memory for the hot
+// combinatorial kernels of the ordering pipeline: envelope scoring, subgraph
+// extraction and the breadth-first machinery of the classical orderings.
+//
+// A Workspace is a set of typed arenas (int32, bool, float64) handed out in
+// stack order plus a stamp-cleared integer map over a dense key range. After
+// the first few calls at a given problem size every checkout is served from
+// retained capacity, so kernels written against a Workspace run with zero
+// steady-state allocations (see the AllocsPerRun guards in the consuming
+// packages).
+//
+// Contract: a Workspace is NOT safe for concurrent use; give each worker
+// goroutine its own (Get/Put wrap a sync.Pool for exactly that). Buffers
+// obtained from a Workspace are only valid until the matching Release (or
+// Put) and must never be retained, returned, or stored in long-lived
+// structures — copy out anything that outlives the call.
+package scratch
+
+import "sync"
+
+// Workspace is a reusable bundle of scratch arenas. The zero value is ready
+// to use.
+type Workspace struct {
+	i32   [][]int32
+	nexti int
+	b     [][]bool
+	nextb int
+	f64   [][]float64
+	nextf int
+
+	// Stamp-cleared map over keys [0, n): val[k] is current iff gen[k]
+	// equals cur. Clearing is O(1) — bump cur.
+	mapVal []int32
+	mapGen []uint32
+	mapCur uint32
+}
+
+// New returns an empty Workspace.
+func New() *Workspace { return &Workspace{} }
+
+var pool = sync.Pool{New: func() any { return New() }}
+
+// Get checks a Workspace out of the global pool.
+func Get() *Workspace { return pool.Get().(*Workspace) }
+
+// Put releases every outstanding buffer of ws and returns it to the global
+// pool. The caller must not use ws or any buffer obtained from it
+// afterwards.
+func Put(ws *Workspace) {
+	ws.nexti, ws.nextb, ws.nextf = 0, 0, 0
+	pool.Put(ws)
+}
+
+// Mark records the current arena positions; passing it to Release frees
+// every buffer checked out after the Mark call. Marks nest like a stack:
+// release in reverse order of marking.
+type Mark struct{ i, b, f int }
+
+// Mark returns a checkpoint of the arenas.
+func (ws *Workspace) Mark() Mark { return Mark{ws.nexti, ws.nextb, ws.nextf} }
+
+// Release returns every buffer checked out since m to the arenas. The freed
+// buffers keep their capacity and will back future checkouts.
+func (ws *Workspace) Release(m Mark) {
+	ws.nexti, ws.nextb, ws.nextf = m.i, m.b, m.f
+}
+
+// Int32s returns a length-n int32 buffer with unspecified contents.
+func (ws *Workspace) Int32s(n int) []int32 {
+	if ws.nexti == len(ws.i32) {
+		ws.i32 = append(ws.i32, nil)
+	}
+	buf := ws.i32[ws.nexti]
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	}
+	buf = buf[:n]
+	ws.i32[ws.nexti] = buf
+	ws.nexti++
+	return buf
+}
+
+// Bools returns a length-n bool buffer with every element false.
+func (ws *Workspace) Bools(n int) []bool {
+	if ws.nextb == len(ws.b) {
+		ws.b = append(ws.b, nil)
+	}
+	buf := ws.b[ws.nextb]
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	} else {
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = false
+		}
+	}
+	ws.b[ws.nextb] = buf
+	ws.nextb++
+	return buf
+}
+
+// Float64s returns a length-n float64 buffer with unspecified contents.
+func (ws *Workspace) Float64s(n int) []float64 {
+	if ws.nextf == len(ws.f64) {
+		ws.f64 = append(ws.f64, nil)
+	}
+	buf := ws.f64[ws.nextf]
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	ws.f64[ws.nextf] = buf
+	ws.nextf++
+	return buf
+}
+
+// MapReset clears the stamp map and sizes its key range to [0, n). Only one
+// stamp map is live per Workspace at a time; a second MapReset discards the
+// first map's contents.
+func (ws *Workspace) MapReset(n int) {
+	if cap(ws.mapGen) < n {
+		ws.mapVal = make([]int32, n)
+		ws.mapGen = make([]uint32, n)
+		ws.mapCur = 1
+		return
+	}
+	ws.mapVal = ws.mapVal[:n]
+	ws.mapGen = ws.mapGen[:n]
+	ws.mapCur++
+	if ws.mapCur == 0 { // generation counter wrapped: hard-clear once
+		for i := range ws.mapGen {
+			ws.mapGen[i] = 0
+		}
+		ws.mapCur = 1
+	}
+}
+
+// MapSet binds key k (in the range given to MapReset) to v.
+func (ws *Workspace) MapSet(k int, v int32) {
+	ws.mapVal[k] = v
+	ws.mapGen[k] = ws.mapCur
+}
+
+// MapGet returns the value bound to k since the last MapReset.
+func (ws *Workspace) MapGet(k int) (int32, bool) {
+	if ws.mapGen[k] != ws.mapCur {
+		return 0, false
+	}
+	return ws.mapVal[k], true
+}

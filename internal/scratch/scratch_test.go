@@ -1,0 +1,136 @@
+package scratch
+
+import "testing"
+
+func TestArenaReuse(t *testing.T) {
+	ws := New()
+	m := ws.Mark()
+	a := ws.Int32s(100)
+	b := ws.Int32s(50)
+	if len(a) != 100 || len(b) != 50 {
+		t.Fatalf("lengths %d,%d", len(a), len(b))
+	}
+	a[0], b[0] = 7, 9
+	ws.Release(m)
+	a2 := ws.Int32s(80)
+	if len(a2) != 80 {
+		t.Fatalf("len %d", len(a2))
+	}
+	if &a2[0] != &a[0] {
+		t.Fatalf("arena did not reuse the first buffer after Release")
+	}
+}
+
+func TestBoolsZeroed(t *testing.T) {
+	ws := New()
+	m := ws.Mark()
+	b := ws.Bools(10)
+	for i := range b {
+		b[i] = true
+	}
+	ws.Release(m)
+	b2 := ws.Bools(10)
+	for i, v := range b2 {
+		if v {
+			t.Fatalf("Bools not cleared at %d", i)
+		}
+	}
+}
+
+func TestMarkReleaseNesting(t *testing.T) {
+	ws := New()
+	outer := ws.Mark()
+	x := ws.Int32s(10)
+	x[3] = 42
+	inner := ws.Mark()
+	y := ws.Int32s(10)
+	if &y[0] == &x[0] {
+		t.Fatal("nested checkout aliased the outer buffer")
+	}
+	ws.Release(inner)
+	// The outer buffer must survive an inner release untouched.
+	if x[3] != 42 {
+		t.Fatalf("outer buffer clobbered: %d", x[3])
+	}
+	z := ws.Int32s(5)
+	if &z[0] != &y[0] {
+		t.Fatal("inner slot not reused after inner release")
+	}
+	ws.Release(outer)
+}
+
+func TestStampMap(t *testing.T) {
+	ws := New()
+	ws.MapReset(10)
+	ws.MapSet(3, 30)
+	ws.MapSet(7, 70)
+	if v, ok := ws.MapGet(3); !ok || v != 30 {
+		t.Fatalf("MapGet(3) = %d,%v", v, ok)
+	}
+	if _, ok := ws.MapGet(4); ok {
+		t.Fatal("MapGet(4) should miss")
+	}
+	ws.MapReset(10)
+	if _, ok := ws.MapGet(3); ok {
+		t.Fatal("MapReset did not clear")
+	}
+	// Shrinking then growing the key range must stay consistent.
+	ws.MapReset(5)
+	ws.MapSet(4, 44)
+	ws.MapReset(10)
+	if _, ok := ws.MapGet(4); ok {
+		t.Fatal("stale entry visible after grow")
+	}
+}
+
+func TestStampMapGenerationWrap(t *testing.T) {
+	ws := New()
+	ws.MapReset(4)
+	ws.MapSet(1, 11)
+	ws.mapCur = ^uint32(0) // force the next reset to wrap
+	ws.mapGen[1] = ws.mapCur
+	ws.MapReset(4)
+	if _, ok := ws.MapGet(1); ok {
+		t.Fatal("entry survived generation wrap")
+	}
+	ws.MapSet(2, 22)
+	if v, ok := ws.MapGet(2); !ok || v != 22 {
+		t.Fatalf("MapGet(2) after wrap = %d,%v", v, ok)
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	ws := New()
+	// Warm up.
+	m := ws.Mark()
+	_ = ws.Int32s(1000)
+	_ = ws.Bools(1000)
+	_ = ws.Float64s(1000)
+	ws.MapReset(1000)
+	ws.Release(m)
+	allocs := testing.AllocsPerRun(100, func() {
+		m := ws.Mark()
+		a := ws.Int32s(1000)
+		b := ws.Bools(500)
+		f := ws.Float64s(200)
+		a[0], b[0], f[0] = 1, true, 1
+		ws.MapReset(1000)
+		ws.MapSet(5, 50)
+		ws.Release(m)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state workspace checkout allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestPool(t *testing.T) {
+	ws := Get()
+	_ = ws.Int32s(10)
+	Put(ws)
+	ws2 := Get()
+	// After Put every slot must be released.
+	if ws2 == ws && ws2.nexti != 0 {
+		t.Fatal("Put did not rewind the arenas")
+	}
+	Put(ws2)
+}
