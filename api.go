@@ -15,6 +15,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/perm"
 	"repro/internal/pipeline"
+	"repro/internal/solver"
 	"repro/internal/spy"
 )
 
@@ -47,8 +48,15 @@ const (
 )
 
 // SpectralInfo reports diagnostics of a spectral ordering run (λ2,
-// residual, chosen direction, solver used).
+// residual, chosen direction, solver used, full solver statistics).
 type SpectralInfo = core.Info
+
+// SolveStats is the uniform eigensolver telemetry of the unified solver
+// engine: scheme, matvecs, RQI iterations, Jacobi sweeps, hierarchy depth,
+// coarsest size, residual and convergence. It appears in
+// SpectralInfo.Solve, AutoReport.Solve and per spectral candidate in
+// AutoReport component reports.
+type SolveStats = solver.Stats
 
 // Graph construction --------------------------------------------------------
 

@@ -65,7 +65,7 @@ func benchTableCell(b *testing.B, problem string, alg string) {
 	var last perm.Perm
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		o, err := f(p.G)
+		o, _, err := f(p.G)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func BenchmarkTable44(b *testing.B) {
 						f = a.F
 					}
 				}
-				o, err := f(p.G)
+				o, _, err := f(p.G)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -292,7 +292,7 @@ func BenchmarkAutoPortfolio(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				best := int64(-1)
 				for _, alg := range harness.Algorithms(benchSeed) {
-					o, err := alg.F(p.G)
+					o, _, err := alg.F(p.G)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -13,20 +13,28 @@
 // track the performance trajectory across PRs:
 //
 //	{
-//	  "schema": "repro/bench_pipeline/v1",
+//	  "schema": "repro/bench_pipeline/v2",
 //	  "baseline": [ {benchmark...} ],   // pre-PR reference, carried forward
 //	  "benchmarks": [
 //	    {"name": "...", "iterations": N,
 //	     "ns_per_op": f, "bytes_per_op": f, "allocs_per_op": f,
-//	     "metrics": {"envelope": f, ...}}
-//	  ]
+//	     "metrics": {"envelope": f, "matvecs/solve": f, ...}}
+//	  ],
+//	  "gates": {"zero_alloc": [...], "required": [...]}  // enforced gates
 //	}
+//
+// v2 adds the "gates" record (which gates this artifact was produced
+// under) and the eigensolver rows: the BenchmarkEigensolver multilevel-vs-
+// Lanczos ablation reports a matvecs/solve metric alongside wall clock.
 //
 // -zero-alloc takes a comma-separated list of regular expressions; each
 // pattern must match at least one benchmark (so a renamed or missing
 // kernel benchmark cannot silently drop its gate) and every match must
 // report 0 allocs/op, else the run fails (exit 1) — the CI guard that
-// keeps the fused kernels allocation-free. -baseline carries the pre-PR
+// keeps the fused kernels allocation-free. -require takes the same kind of
+// list without the allocation condition: each pattern must match at least
+// one benchmark row, the presence gate that keeps the eigensolver ablation
+// from silently dropping out of the artifact. -baseline carries the pre-PR
 // reference record forward: if the given file has a non-empty "baseline"
 // it is preserved verbatim, otherwise its "benchmarks" become the
 // baseline.
@@ -54,14 +62,22 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Gates records which gates the artifact was produced under, so a reader
+// knows what the numbers were already checked against.
+type Gates struct {
+	ZeroAlloc []string `json:"zero_alloc,omitempty"`
+	Required  []string `json:"required,omitempty"`
+}
+
 // File is the versioned artifact schema.
 type File struct {
 	Schema     string      `json:"schema"`
 	Baseline   []Benchmark `json:"baseline,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	Gates      *Gates      `json:"gates,omitempty"`
 }
 
-const schemaVersion = "repro/bench_pipeline/v1"
+const schemaVersion = "repro/bench_pipeline/v2"
 
 // The optional -N suffix is the GOMAXPROCS tag go test appends; the lazy
 // name match keeps it out of the recorded benchmark name.
@@ -126,6 +142,7 @@ func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "BENCH_pipeline.json", "JSON artifact to write")
 	zeroAlloc := flag.String("zero-alloc", "", "comma-separated regexps; each must match ≥1 benchmark and all matches must report 0 allocs/op")
+	require := flag.String("require", "", "comma-separated regexps; each must match ≥1 benchmark row (presence gate, no allocation condition)")
 	baseline := flag.String("baseline", "", "prior artifact whose pre-PR record is carried forward")
 	flag.Parse()
 
@@ -153,6 +170,9 @@ func main() {
 	if *baseline != "" {
 		file.Baseline = loadBaseline(*baseline)
 	}
+	if za, req := splitPatterns(*zeroAlloc), splitPatterns(*require); len(za) > 0 || len(req) > 0 {
+		file.Gates = &Gates{ZeroAlloc: za, Required: req}
+	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -165,42 +185,65 @@ func main() {
 	}
 	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(benches))
 
-	if *zeroAlloc != "" {
-		failed := false
-		total := 0
-		for _, pat := range strings.Split(*zeroAlloc, ",") {
-			pat = strings.TrimSpace(pat)
-			if pat == "" {
+	ok := true
+	if n, passed := runGates("zero-alloc", *zeroAlloc, benches, true); !passed {
+		ok = false
+	} else if n > 0 {
+		fmt.Printf("benchjson: %d zero-alloc gates passed\n", n)
+	}
+	if n, passed := runGates("require", *require, benches, false); !passed {
+		ok = false
+	} else if n > 0 {
+		fmt.Printf("benchjson: %d presence gates passed\n", n)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// splitPatterns splits a comma-separated flag value into trimmed non-empty
+// patterns.
+func splitPatterns(s string) []string {
+	var out []string
+	for _, pat := range strings.Split(s, ",") {
+		if pat = strings.TrimSpace(pat); pat != "" {
+			out = append(out, pat)
+		}
+	}
+	return out
+}
+
+// runGates enforces one gate family over the parsed benchmarks: every
+// pattern must match at least one benchmark (a gate whose benchmark
+// disappeared — renamed, failed to run — is a failure, not a pass), and
+// with checkAllocs every match must report 0 allocs/op. It returns the
+// total match count and whether all gates passed.
+func runGates(name, patterns string, benches []Benchmark, checkAllocs bool) (int, bool) {
+	ok := true
+	total := 0
+	for _, pat := range splitPatterns(patterns) {
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -%s regexp %q: %v\n", name, pat, err)
+			os.Exit(2)
+		}
+		matched := 0
+		for _, b := range benches {
+			if !re.MatchString(b.Name) {
 				continue
 			}
-			re, err := regexp.Compile(pat)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: bad -zero-alloc regexp %q: %v\n", pat, err)
-				os.Exit(2)
+			matched++
+			if checkAllocs && b.AllocsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION: %s reports %g allocs/op (want 0)\n",
+					b.Name, b.AllocsPerOp)
+				ok = false
 			}
-			matched := 0
-			for _, b := range benches {
-				if !re.MatchString(b.Name) {
-					continue
-				}
-				matched++
-				if b.AllocsPerOp > 0 {
-					fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION: %s reports %g allocs/op (want 0)\n",
-						b.Name, b.AllocsPerOp)
-					failed = true
-				}
-			}
-			// A gate whose benchmark disappeared (renamed, failed to run)
-			// is a failure, not a pass: every pattern must bite.
-			if matched == 0 {
-				fmt.Fprintf(os.Stderr, "benchjson: -zero-alloc gate %q matched no benchmarks\n", pat)
-				failed = true
-			}
-			total += matched
 		}
-		if failed {
-			os.Exit(1)
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -%s gate %q matched no benchmarks\n", name, pat)
+			ok = false
 		}
-		fmt.Printf("benchjson: %d zero-alloc gates passed\n", total)
+		total += matched
 	}
+	return total, ok
 }

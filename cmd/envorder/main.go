@@ -16,17 +16,25 @@
 // printed to -out (one 0-based original index per line, new order top to
 // bottom).
 //
+// With -stats json the text report is replaced by a machine-readable JSON
+// document carrying the envelope parameters, the eigensolver statistics
+// (scheme, matvecs, RQI iterations, hierarchy shape, convergence) and —
+// for -method auto — the full per-candidate portfolio report.
+//
 // Example:
 //
 //	envorder -problem BARTH4 -method spectral -scale 0.5
 //	envorder -mm matrix.mtx -method auto -parallel 8
+//	envorder -mm matrix.mtx -method auto -stats json | jq .portfolio.Solve
 //	envorder -mm matrix.mtx -alg gk -out perm.txt
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -55,6 +63,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "problem scale for -problem")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "write permutation to this file")
+		stats    = flag.String("stats", "", "report format: 'json' replaces the text report with a machine-readable document (envelope parameters, eigensolver statistics, per-candidate portfolio results)")
 		spyFlag  = flag.Bool("spy", false, "print an ASCII spy plot of the reordered matrix")
 		weighted = flag.Bool("weighted", false, "with -mm and -alg spectral: use matrix values as Laplacian weights")
 		bounds   = flag.Bool("bounds", false, "print the Theorem 2.2 envelope lower bound vs the achieved envelope")
@@ -71,6 +80,14 @@ func main() {
 	}
 	if *weighted && !strings.EqualFold(*method, "spectral") {
 		log.Fatalf("-weighted is only supported with -method spectral (got %q)", *method)
+	}
+	switch {
+	case *stats == "" || strings.EqualFold(*stats, "json"):
+	default:
+		log.Fatalf("unknown -stats format %q (supported: json)", *stats)
+	}
+	if strings.EqualFold(*stats, "json") && (*spyFlag || *bounds) {
+		log.Fatal("-stats json replaces the text report and cannot be combined with -spy or -bounds")
 	}
 
 	if *list {
@@ -135,6 +152,18 @@ func main() {
 		log.Fatalf("internal error: invalid permutation: %v", err)
 	}
 	s := envelope.Compute(g, p)
+	if strings.EqualFold(*stats, "json") {
+		if err := writeStatsJSON(os.Stdout, name, g, *method, elapsed, s, info, report); err != nil {
+			log.Fatal(err)
+		}
+		if *out != "" {
+			if err := writePerm(*out, p); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("permutation written to %s", *out)
+		}
+		return
+	}
 	fmt.Printf("matrix    : %s (n=%d, nnz=%d)\n", name, g.N(), g.Nonzeros())
 	fmt.Printf("algorithm : %s (%.3fs)\n", strings.ToUpper(*method), elapsed.Seconds())
 	fmt.Printf("envelope  : %d\n", s.Esize)
@@ -248,6 +277,37 @@ func computeOrdering(g *graph.Graph, alg string, seed int64, parallel int, budge
 		log.Fatalf("unknown algorithm %q", alg)
 		return nil, nil, nil
 	}
+}
+
+// runStats is the -stats json document: one self-contained record per run,
+// stable field names, suitable for jq-style post-processing and the CI
+// artifacts.
+type runStats struct {
+	Matrix    string               `json:"matrix"`
+	N         int                  `json:"n"`
+	Nonzeros  int                  `json:"nonzeros"`
+	Algorithm string               `json:"algorithm"`
+	Seconds   float64              `json:"seconds"`
+	Envelope  envelope.Stats       `json:"envelope"`
+	Spectral  *envred.SpectralInfo `json:"spectral,omitempty"`
+	Portfolio *envred.AutoReport   `json:"portfolio,omitempty"`
+}
+
+func writeStatsJSON(w io.Writer, name string, g *graph.Graph, method string, elapsed time.Duration,
+	s envelope.Stats, info *envred.SpectralInfo, report *envred.AutoReport) error {
+	doc := runStats{
+		Matrix:    name,
+		N:         g.N(),
+		Nonzeros:  g.Nonzeros(),
+		Algorithm: strings.ToUpper(method),
+		Seconds:   elapsed.Seconds(),
+		Envelope:  s,
+		Spectral:  info,
+		Portfolio: report,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func writePerm(path string, p perm.Perm) error {

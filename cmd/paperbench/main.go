@@ -144,7 +144,7 @@ func runFigures(outdir string, scale float64, seed int64, size int) {
 	ords := make(map[string]perm.Perm, 5)
 	ords["fig4_1_original"] = perm.Identity(g.N())
 	for _, alg := range harness.Algorithms(seed) {
-		o, err := alg.F(g)
+		o, _, err := alg.F(g)
 		if err != nil {
 			log.Fatalf("figures: %s: %v", alg.Name, err)
 		}

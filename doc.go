@@ -9,9 +9,12 @@
 //
 //   - a CSR graph substrate with BFS level structures and pseudo-peripheral
 //     vertex location,
-//   - a Lanczos eigensolver and the multilevel Fiedler solver of §3
-//     (maximal-independent-set contraction, interpolation, Rayleigh
-//     Quotient Iteration with MINRES inner solves),
+//   - a unified eigensolver engine (internal/solver): one Solver interface
+//     with uniform statistics (matvecs, RQI iterations, Jacobi sweeps,
+//     hierarchy depth, residual, convergence) implemented by a Lanczos
+//     solver, the multilevel Fiedler scheme of §3 (maximal-independent-set
+//     contraction, interpolation, Rayleigh Quotient Iteration with MINRES
+//     inner solves) and standalone RQI refinement,
 //   - the spectral ordering itself (Algorithm 1) plus the spectral–Sloan
 //     hybrid the paper's closing section anticipates,
 //   - the classical competitors: reverse Cuthill–McKee, Gibbs–Poole–
@@ -61,6 +64,29 @@
 // cmd/paperbench for the harness that regenerates every table and figure
 // of the paper.
 //
+// # Solver architecture
+//
+// Every Fiedler computation goes through the unified engine in
+// internal/solver: a Solver interface (Solve(ws, g) → vector, SolveStats,
+// error) implemented by the direct Lanczos solver, the §3 multilevel
+// scheme and standalone RQI. SpectralOptions.Method picks the scheme
+// (MethodAuto crosses from Lanczos to multilevel above
+// SpectralOptions.AutoThreshold, default 2000 vertices), and every layer
+// reports the same SolveStats record: SpectralInfo.Solve for the ordering
+// entry points, AutoReport.Solve plus a per-spectral-candidate copy for
+// the portfolio engine, and a matvecs column in the harness tables.
+// Partial convergence is surfaced, not swallowed: a solver that runs out
+// of budget returns its best vector with Converged=false and the residual
+// quantifying the miss.
+//
+// The portfolio engine adds a per-component artifact cache on top: the
+// Fiedler vector, the George–Liu pseudo-peripheral root and the GPS
+// pseudo-diameter pair are each computed once per component and shared by
+// every candidate that needs them, so racing SPECTRAL and SPECTRAL+SLOAN
+// costs one eigensolve, not two. cmd/envorder's -stats json flag emits the
+// whole record — envelope parameters, solver statistics, per-candidate
+// portfolio results — as one machine-readable document.
+//
 // # Allocation-free hot paths
 //
 // The measurement and extraction layers have two call surfaces. The public
@@ -68,18 +94,24 @@
 // convenience wrappers: each borrows a pooled workspace, so they are safe,
 // concurrent and moderately fast, but pay pool traffic per call. The
 // internal *Into / *WS variants (envelope.ComputeInto, envelope.EsizeInto,
-// graph.SubgraphInto, order.RCMWS, core.SpectralWS, ...) take an explicit
-// scratch workspace and run with zero steady-state allocations; the
-// parallel engine behind Auto checks one workspace out per worker and
-// threads it through subgraph extraction, every portfolio algorithm and
-// the fused envelope scoring of each candidate.
+// graph.SubgraphInto, order.RCMWS, core.SpectralWS,
+// multilevel.FiedlerWS, ...) take an explicit scratch workspace and run
+// with zero steady-state allocations; the parallel engine behind Auto
+// checks one workspace out per worker and threads it through subgraph
+// extraction, every portfolio algorithm and the fused envelope scoring of
+// each candidate. The multilevel solver carves its whole hierarchy —
+// coarse CSR arrays, domain maps, per-level operators, iterates and MINRES
+// work vectors — out of the same arenas, so the V-cycle refinement
+// (interpolate + smooth + RQI) runs at 0 allocs/op once warm.
 //
 // The workspace contract: a workspace must not be shared across goroutines,
 // and buffers obtained from one are only valid until the matching release —
 // never retain them or return them to callers. Results that outlive a call
-// (permutations, extracted subgraphs held across pipeline stages) are
-// always freshly allocated or copied out. testing.AllocsPerRun guards in
-// internal/envelope and internal/graph pin the steady-state envelope
-// scoring and subgraph extraction paths at 0 allocs/op, and CI regenerates
-// the BENCH_pipeline.json artifact and fails if those gates regress.
+// (permutations, extracted subgraphs held across pipeline stages, Fiedler
+// vectors memoized in the artifact cache) are always freshly allocated or
+// copied out. testing.AllocsPerRun guards in internal/envelope,
+// internal/graph and internal/multilevel pin the steady-state envelope
+// scoring, subgraph extraction and V-cycle refinement paths at 0
+// allocs/op, and CI regenerates the BENCH_pipeline.json artifact and fails
+// if those gates regress.
 package envred

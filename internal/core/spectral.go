@@ -18,11 +18,11 @@ import (
 	"repro/internal/envelope"
 	"repro/internal/graph"
 	"repro/internal/lanczos"
-	"repro/internal/laplacian"
 	"repro/internal/multilevel"
 	"repro/internal/order"
 	"repro/internal/perm"
 	"repro/internal/scratch"
+	"repro/internal/solver"
 )
 
 // Method selects how the Fiedler vector is computed.
@@ -38,20 +38,64 @@ const (
 	MethodMultilevel
 )
 
-// AutoThreshold is the component size at which MethodAuto switches from
-// direct Lanczos to the multilevel scheme.
+// AutoThreshold is the default component size at which MethodAuto switches
+// from direct Lanczos to the multilevel scheme. Options.AutoThreshold
+// overrides it per run.
 const AutoThreshold = 2000
 
 // Options configures the spectral ordering.
 type Options struct {
 	// Method picks the eigensolver (default MethodAuto).
 	Method Method
+	// AutoThreshold overrides the component size at which MethodAuto
+	// switches from direct Lanczos to the multilevel scheme (0 = the
+	// AutoThreshold default). The portfolio engine and the benchmarks use
+	// it to ablate the crossover.
+	AutoThreshold int
 	// Lanczos configures the direct solver.
 	Lanczos lanczos.Options
 	// Multilevel configures the multilevel solver.
 	Multilevel multilevel.Options
 	// Seed drives all randomized pieces; runs are reproducible per seed.
 	Seed int64
+}
+
+func (o Options) threshold() int {
+	if o.AutoThreshold > 0 {
+		return o.AutoThreshold
+	}
+	return AutoThreshold
+}
+
+// Solver resolves the eigensolver Options select for an n-vertex connected
+// component, with seeds defaulted from Options.Seed. This is the single
+// construction point of the unified solver engine: Spectral, the pipeline's
+// artifact cache and the ablation benchmarks all go through it.
+func (o Options) Solver(n int) solver.Solver {
+	useML := false
+	switch o.Method {
+	case MethodMultilevel:
+		useML = true
+	case MethodLanczos:
+		useML = false
+	default:
+		useML = n > o.threshold()
+	}
+	if useML {
+		mlOpt := o.Multilevel
+		if mlOpt.Seed == 0 {
+			mlOpt.Seed = o.Seed
+		}
+		if mlOpt.Lanczos.Seed == 0 {
+			mlOpt.Lanczos.Seed = o.Seed
+		}
+		return solver.Multilevel{Opt: mlOpt}
+	}
+	lOpt := o.Lanczos
+	if lOpt.Seed == 0 {
+		lOpt.Seed = o.Seed
+	}
+	return solver.Lanczos{Opt: lOpt}
 }
 
 // Info reports diagnostics of a spectral ordering run.
@@ -68,17 +112,49 @@ type Info struct {
 	Multilevel bool
 	// Components is the number of connected components ordered.
 	Components int
-	// MatVecs counts Laplacian applications across every Lanczos solve of
-	// the run, all components included (multilevel solves are not
-	// instrumented and contribute 0). The SpectralSloan regression tests
-	// use it to prove the hybrid never repeats an eigensolve.
+	// MatVecs counts Laplacian applications across every eigensolve of the
+	// run, all components and both schemes included (it mirrors
+	// Solve.MatVecs). The SpectralSloan regression tests use it to prove
+	// the hybrid never repeats an eigensolve.
 	MatVecs int
+	// Solve carries the full uniform solver statistics: estimates (Lambda,
+	// Residual, Levels, CoarsestN, Scheme) from the largest component's
+	// solve, counters (MatVecs, RQIIterations, JacobiSweeps) summed across
+	// every component, Converged and-ed across them.
+	Solve solver.Stats
+}
+
+// absorb folds one component's solve statistics into the run diagnostics.
+// record is true for the largest (first-ordered) component, whose spectral
+// estimates become the run's.
+func (info *Info) absorb(st solver.Stats, record bool) {
+	info.MatVecs += st.MatVecs
+	if record {
+		counters := info.Solve
+		info.Solve = st
+		info.Solve.AddCounters(counters)
+		info.Lambda2 = st.Lambda
+		info.Residual = st.Residual
+		info.Multilevel = st.Scheme == solver.SchemeMultilevel
+	} else {
+		info.Solve.Accumulate(st)
+	}
 }
 
 // testHookEigensolve, when non-nil, observes every Fiedler eigensolve with
 // the component size. Tests install it to assert the solver runs exactly
 // once per component.
 var testHookEigensolve func(n int)
+
+// SetEigensolveTestHook installs f to observe every Fiedler eigensolve
+// (called with the component size) and returns a function restoring the
+// previous hook. Tests here and in internal/pipeline use it to prove each
+// component's eigensolve runs exactly once across portfolio candidates.
+func SetEigensolveTestHook(f func(n int)) (restore func()) {
+	prev := testHookEigensolve
+	testHookEigensolve = f
+	return func() { testHookEigensolve = prev }
+}
 
 // Spectral computes the spectral envelope-reducing ordering of g
 // (Algorithm 1). Disconnected graphs are ordered component by component
@@ -125,63 +201,39 @@ func SpectralWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, 
 // the solver selected by opt. It is exported for the examples and the
 // ablation benchmarks.
 func FiedlerVector(g *graph.Graph, opt Options) ([]float64, float64, error) {
-	var info Info
-	x, err := fiedler(g, opt, &info, true)
-	return x, info.Lambda2, err
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	x, st, err := FiedlerConnectedWS(ws, g, opt)
+	return x, st.Lambda, err
 }
 
-func fiedler(g *graph.Graph, opt Options, info *Info, record bool) ([]float64, error) {
+// FiedlerConnectedWS computes the Fiedler vector of the connected graph g
+// with the solver selected by opt, reporting the uniform solver statistics.
+// It is the single eigensolve entry point: Spectral, SpectralSloan and the
+// pipeline's per-component artifact cache all funnel through it (and
+// through the eigensolve test hook). The returned vector is freshly
+// allocated and safe to retain; ws is used only for scratch.
+func FiedlerConnectedWS(ws *scratch.Workspace, g *graph.Graph, opt Options) ([]float64, solver.Stats, error) {
 	n := g.N()
 	if testHookEigensolve != nil {
 		testHookEigensolve(n)
 	}
-	useML := false
-	switch opt.Method {
-	case MethodMultilevel:
-		useML = true
-	case MethodLanczos:
-		useML = false
-	default:
-		useML = n > AutoThreshold
+	return opt.Solver(n).Solve(ws, g)
+}
+
+// OrderFiedler is Algorithm 1 step 3 on a precomputed Fiedler vector of the
+// connected graph g: sort vertices by component value and keep the
+// direction with the smaller envelope, scoring both off one fused
+// traversal. esize is the winning direction's envelope size (already paid
+// for — callers comparing against a refinement should reuse it) and
+// reversed reports whether the nonincreasing sort won.
+func OrderFiedler(ws *scratch.Workspace, g *graph.Graph, x []float64) (o perm.Perm, esize int64, reversed bool) {
+	asc := OrderByValues(x)
+	fwd, rev := envelope.EsizeBothInto(ws, g, asc)
+	if rev < fwd {
+		return asc.Reverse(), rev, true
 	}
-	if useML {
-		mlOpt := opt.Multilevel
-		if mlOpt.Seed == 0 {
-			mlOpt.Seed = opt.Seed
-		}
-		if mlOpt.Lanczos.Seed == 0 {
-			mlOpt.Lanczos.Seed = opt.Seed
-		}
-		res, err := multilevel.Fiedler(g, mlOpt)
-		if err != nil {
-			return nil, err
-		}
-		if record {
-			info.Lambda2 = res.Lambda
-			info.Residual = res.Residual
-			info.Multilevel = true
-		}
-		return res.Vector, nil
-	}
-	lOpt := opt.Lanczos
-	if lOpt.Seed == 0 {
-		lOpt.Seed = opt.Seed
-	}
-	op := laplacian.Auto(g)
-	res, err := lanczos.Fiedler(op, op.GershgorinBound(), lOpt)
-	info.MatVecs += res.MatVecs
-	if err != nil && res.Vector == nil {
-		return nil, err
-	}
-	// A not-fully-converged vector is still usable for ordering — the
-	// paper's "terminate the reordering process depending on a stopping
-	// criterion" trade-off — so only hard failures propagate.
-	if record {
-		info.Lambda2 = res.Lambda
-		info.Residual = res.Residual
-		info.Multilevel = false
-	}
-	return res.Vector, nil
+	return asc, fwd, false
 }
 
 func spectralConnected(ws *scratch.Workspace, g *graph.Graph, opt Options, info *Info, record bool) (perm.Perm, error) {
@@ -189,21 +241,21 @@ func spectralConnected(ws *scratch.Workspace, g *graph.Graph, opt Options, info 
 	if n == 1 {
 		return perm.Perm{0}, nil
 	}
-	x, err := fiedler(g, opt, info, record)
+	x, st, err := FiedlerConnectedWS(ws, g, opt)
 	if err != nil {
+		// The failed solve's work still counts toward the run's totals (a
+		// caller diagnosing the failure sees what it burned); estimates are
+		// not recorded.
+		info.MatVecs += st.MatVecs
+		info.Solve.Accumulate(st)
 		return nil, err
 	}
-	asc := OrderByValues(x)
-	// Algorithm 1 step 3: take the direction with the smaller envelope.
-	// One fused traversal scores both directions off a single inverse.
-	fwd, rev := envelope.EsizeBothInto(ws, g, asc)
-	if rev < fwd {
-		if record {
-			info.Reversed = true
-		}
-		return asc.Reverse(), nil
+	info.absorb(st, record)
+	o, _, reversed := OrderFiedler(ws, g, x)
+	if reversed && record {
+		info.Reversed = true
 	}
-	return asc, nil
+	return o, nil
 }
 
 // OrderByValues returns the permutation that sorts vertices by
@@ -252,11 +304,7 @@ func SpectralSloanWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.P
 	bestEsize := envelope.EsizeInto(ws, g, spectral)
 
 	if graph.IsConnected(g) {
-		if hybrid, ok := sloanRefine(g, spectral); ok {
-			if e := envelope.EsizeInto(ws, g, hybrid); e < bestEsize {
-				best, bestEsize = hybrid, e
-			}
-		}
+		best = RefineSpectralWS(ws, g, spectral, bestEsize)
 	} else {
 		// Refine each component's slice of the global spectral ordering and
 		// concatenate in the same component order Spectral used.
@@ -287,11 +335,7 @@ func SpectralSloanWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.P
 				}
 				local[k] = j
 			}
-			pick := local
-			if hybrid, ok := sloanRefine(&sub, local); ok &&
-				envelope.EsizeInto(ws, &sub, hybrid) < envelope.EsizeInto(ws, &sub, local) {
-				pick = hybrid
-			}
+			pick := RefineSpectralWS(ws, &sub, local, envelope.EsizeInto(ws, &sub, local))
 			for _, lv := range pick {
 				out = append(out, int32(comp[lv]))
 			}
@@ -304,10 +348,27 @@ func SpectralSloanWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.P
 	return best, info, nil
 }
 
-// sloanRefine runs Sloan's numbering using the spectral ranks as the global
-// priority. The rank spread is rescaled to the graph diameter estimate so
-// the W1/W2 balance of classic Sloan carries over.
-func sloanRefine(g *graph.Graph, spectral perm.Perm) (perm.Perm, bool) {
+// RefineSpectralWS returns the better of spectral and its Sloan refinement
+// on the connected graph g, given spectral's (already-computed) envelope
+// size. This is the single acceptance rule of the SPECTRAL+SLOAN hybrid:
+// SpectralSloanWS and the pipeline's artifact-backed candidate both call
+// it, so the two can never drift apart.
+func RefineSpectralWS(ws *scratch.Workspace, g *graph.Graph, spectral perm.Perm, spectralEsize int64) perm.Perm {
+	if hybrid, ok := SloanRefine(g, spectral); ok {
+		if e := envelope.EsizeInto(ws, g, hybrid); e < spectralEsize {
+			return hybrid
+		}
+	}
+	return spectral
+}
+
+// SloanRefine runs Sloan's numbering on the connected graph g using the
+// spectral ranks as the global priority. The rank spread is rescaled to the
+// graph diameter estimate so the W1/W2 balance of classic Sloan carries
+// over. Exported for the pipeline's SPECTRAL+SLOAN candidate, which reuses
+// the component's cached Fiedler ordering instead of re-running the
+// eigensolver.
+func SloanRefine(g *graph.Graph, spectral perm.Perm) (perm.Perm, bool) {
 	n := g.N()
 	inv := spectral.Inverse()
 	// Scale ranks 0..n-1 down to a BFS-distance-like range: use the

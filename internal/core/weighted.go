@@ -3,12 +3,12 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/envelope"
 	"repro/internal/graph"
 	"repro/internal/lanczos"
 	"repro/internal/laplacian"
 	"repro/internal/perm"
 	"repro/internal/scratch"
+	"repro/internal/solver"
 )
 
 // WeightedSpectral is Algorithm 1 on the weighted Laplacian: when the
@@ -63,24 +63,28 @@ func weightedConnected(g *graph.Graph, weight func(u, v int) float64, opt Option
 		lOpt.Seed = opt.Seed
 	}
 	res, err := lanczos.Fiedler(op, op.GershgorinBound(), lOpt)
-	info.MatVecs += res.MatVecs
+	st := solver.Stats{
+		Scheme:    solver.SchemeLanczos,
+		Lambda:    res.Lambda,
+		Residual:  res.Residual,
+		MatVecs:   res.MatVecs,
+		Levels:    1,
+		CoarsestN: n,
+		Converged: err == nil,
+	}
 	if err != nil && res.Vector == nil {
+		// The failed solve's work still counts toward the run's totals,
+		// exactly as in the unweighted path.
+		info.MatVecs += st.MatVecs
+		info.Solve.Accumulate(st)
 		return nil, err
 	}
-	if record {
-		info.Lambda2 = res.Lambda
-		info.Residual = res.Residual
-		info.Multilevel = false
-	}
-	asc := OrderByValues(res.Vector)
+	info.absorb(st, record)
 	ws := scratch.Get()
-	fwd, rev := envelope.EsizeBothInto(ws, g, asc)
-	scratch.Put(ws)
-	if rev < fwd {
-		if record {
-			info.Reversed = true
-		}
-		return asc.Reverse(), nil
+	defer scratch.Put(ws)
+	o, _, reversed := OrderFiedler(ws, g, res.Vector)
+	if reversed && record {
+		info.Reversed = true
 	}
-	return asc, nil
+	return o, nil
 }

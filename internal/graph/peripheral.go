@@ -45,6 +45,17 @@ func PseudoPeripheral(g *Graph, start int) (int, *LevelStructure) {
 // It returns u, v and their rooted level structures.
 func PseudoDiameter(g *Graph, start int) (u, v int, lsU, lsV *LevelStructure) {
 	u, lsU = PseudoPeripheral(g, start)
+	return PseudoDiameterFrom(g, u, lsU)
+}
+
+// PseudoDiameterFrom is the second half of PseudoDiameter: it runs the GPS
+// shrinking search from an already-located pseudo-peripheral vertex u with
+// its rooted level structure lsU (as returned by PseudoPeripheral). lsU is
+// consumed — the returned structures may recycle its storage. The pipeline's
+// per-component artifact cache uses the split so the George–Liu root (RCM's
+// start) and the GPS endpoint pair share one peripheral search.
+func PseudoDiameterFrom(g *Graph, start int, lsStart *LevelStructure) (u, v int, lsU, lsV *LevelStructure) {
+	u, lsU = start, lsStart
 	cand := &LevelStructure{}
 	var lastBuf []int32
 	for {

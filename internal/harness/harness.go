@@ -34,8 +34,10 @@ const (
 	AlgAuto     = "AUTO"
 )
 
-// OrderFunc computes an ordering of a graph.
-type OrderFunc func(*graph.Graph) (perm.Perm, error)
+// OrderFunc computes an ordering of a graph and reports the eigensolver
+// matvec count of the run (0 for the combinatorial orderings) — the
+// per-row solver-work column of the suite tables.
+type OrderFunc func(*graph.Graph) (perm.Perm, int, error)
 
 // NamedAlgorithm pairs a table label with its ordering function.
 type NamedAlgorithm struct {
@@ -47,9 +49,9 @@ type NamedAlgorithm struct {
 // drives the spectral solver's randomness.
 func Algorithms(seed int64) []NamedAlgorithm {
 	return []NamedAlgorithm{
-		{AlgSpectral, func(g *graph.Graph) (perm.Perm, error) {
-			p, _, err := core.Spectral(g, core.Options{Seed: seed})
-			return p, err
+		{AlgSpectral, func(g *graph.Graph) (perm.Perm, int, error) {
+			p, info, err := core.Spectral(g, core.Options{Seed: seed})
+			return p, info.MatVecs, err
 		}},
 		{AlgGK, wrap(order.GK)},
 		{AlgGPS, wrap(order.GPS)},
@@ -58,7 +60,7 @@ func Algorithms(seed int64) []NamedAlgorithm {
 }
 
 func wrap(f func(*graph.Graph) perm.Perm) OrderFunc {
-	return func(g *graph.Graph) (perm.Perm, error) { return f(g), nil }
+	return func(g *graph.Graph) (perm.Perm, int, error) { return f(g), 0, nil }
 }
 
 // PortfolioAlgorithms returns the paper's four contenders plus the AUTO
@@ -66,9 +68,9 @@ func wrap(f func(*graph.Graph) perm.Perm) OrderFunc {
 // (≤ 0 means GOMAXPROCS). The AUTO row shows what racing all contenders
 // per component buys over committing to any single one.
 func PortfolioAlgorithms(seed int64, parallel int) []NamedAlgorithm {
-	return append(Algorithms(seed), NamedAlgorithm{AlgAuto, func(g *graph.Graph) (perm.Perm, error) {
-		p, _, err := pipeline.Auto(g, pipeline.Options{Seed: seed, Parallelism: parallel})
-		return p, err
+	return append(Algorithms(seed), NamedAlgorithm{AlgAuto, func(g *graph.Graph) (perm.Perm, int, error) {
+		p, rep, err := pipeline.Auto(g, pipeline.Options{Seed: seed, Parallelism: parallel})
+		return p, rep.Solve.MatVecs, err
 	}})
 }
 
@@ -80,6 +82,10 @@ type Row struct {
 	Bandwidth int
 	Seconds   float64
 	Rank      int // 1 = smallest envelope among the four
+	// MatVecs is the eigensolver work behind the row: Laplacian
+	// applications across every solve of the run (0 for the combinatorial
+	// orderings).
+	MatVecs int
 }
 
 // ProblemResult gathers the four rows of one problem, in table order.
@@ -106,7 +112,7 @@ func runProblem(p gen.Problem, algs []NamedAlgorithm) (ProblemResult, error) {
 	res := ProblemResult{Problem: p}
 	for _, alg := range algs {
 		start := time.Now()
-		o, err := alg.F(p.G)
+		o, matvecs, err := alg.F(p.G)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
 			return res, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
@@ -121,6 +127,7 @@ func runProblem(p gen.Problem, algs []NamedAlgorithm) (ProblemResult, error) {
 			Envelope:  s.Esize,
 			Bandwidth: s.Bandwidth,
 			Seconds:   elapsed,
+			MatVecs:   matvecs,
 		})
 	}
 	rank(res.Rows)
@@ -174,8 +181,8 @@ func WriteTable(w io.Writer, title string, results []ProblemResult) error {
 	}
 	line := strings.Repeat("-", 78)
 	fmt.Fprintln(w, line)
-	fmt.Fprintf(w, "%-12s %14s %10s %10s  %-9s %4s\n",
-		"Title", "Envelope", "Bandwidth", "Run time", "Algorithm", "Rank")
+	fmt.Fprintf(w, "%-12s %14s %10s %10s  %-9s %4s %8s\n",
+		"Title", "Envelope", "Bandwidth", "Run time", "Algorithm", "Rank", "MatVecs")
 	fmt.Fprintf(w, "%-12s %14s %10s %10s\n", "(equations)", "", "", "(sec)")
 	fmt.Fprintf(w, "%-12s\n", "(nonzeros)")
 	fmt.Fprintln(w, line)
@@ -191,8 +198,8 @@ func WriteTable(w io.Writer, title string, results []ProblemResult) error {
 			if i < len(hdr) {
 				h = hdr[i]
 			}
-			fmt.Fprintf(w, "%-12s %14d %10d %10.2f  %-9s %4d\n",
-				h, row.Envelope, row.Bandwidth, row.Seconds, row.Algorithm, row.Rank)
+			fmt.Fprintf(w, "%-12s %14d %10d %10.2f  %-9s %4d %8d\n",
+				h, row.Envelope, row.Bandwidth, row.Seconds, row.Algorithm, row.Rank, row.MatVecs)
 		}
 		fmt.Fprintln(w, line)
 	}
@@ -218,7 +225,7 @@ func RunFactorization(p gen.Problem, seed int64) ([]FactorRow, error) {
 		if alg.Name != AlgSpectral && alg.Name != AlgRCM {
 			continue
 		}
-		o, err := alg.F(p.G)
+		o, _, err := alg.F(p.G)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
 		}

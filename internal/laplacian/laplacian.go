@@ -22,7 +22,15 @@ type Op struct {
 
 // New returns the Laplacian operator of g, precomputing degrees.
 func New(g *graph.Graph) *Op {
-	deg := make([]float64, g.N())
+	return NewFrom(g, make([]float64, g.N()))
+}
+
+// NewFrom is New with a caller-provided degree buffer of length g.N(). The
+// buffer is filled and retained by the operator, letting the multilevel
+// hierarchy carve its per-level operators out of one scratch arena instead
+// of allocating per level. The caller must not reuse deg while the operator
+// is live.
+func NewFrom(g *graph.Graph, deg []float64) *Op {
 	for v := range deg {
 		deg[v] = float64(g.Degree(v))
 	}

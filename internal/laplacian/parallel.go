@@ -116,3 +116,8 @@ var (
 func Auto(g *graph.Graph) Interface {
 	return NewParallelOp(New(g), 0)
 }
+
+// AutoFrom is Auto with a caller-provided degree buffer (see NewFrom).
+func AutoFrom(g *graph.Graph, deg []float64) Interface {
+	return NewParallelOp(NewFrom(g, deg), 0)
+}

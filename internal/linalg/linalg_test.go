@@ -328,6 +328,34 @@ func TestMINRESSPD(t *testing.T) {
 	}
 }
 
+// MINRESWS with one reused work bundle must produce the same solution as
+// independent MINRES calls — even when recycled buffers held stale values
+// from a previous, differently-sized solve.
+func TestMINRESWSReusesWork(t *testing.T) {
+	var work MINRESWork
+	for trial, n := range []int{30, 18, 30} {
+		m := randSPD(n, int64(7+trial))
+		op := OpFunc{N: n, F: m.MulVec}
+		rng := rand.New(rand.NewSource(int64(3 + trial)))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		fresh := make([]float64, n)
+		reused := make([]float64, n)
+		rf := MINRES(op, b, fresh, MINRESOptions{Tol: 1e-12})
+		rw := MINRESWS(op, b, reused, MINRESOptions{Tol: 1e-12}, &work)
+		if rf.Iterations != rw.Iterations || rf.Converged != rw.Converged {
+			t.Fatalf("trial %d: results differ: %+v vs %+v", trial, rf, rw)
+		}
+		for i := range fresh {
+			if fresh[i] != reused[i] {
+				t.Fatalf("trial %d: solutions differ at %d: %v vs %v", trial, i, fresh[i], reused[i])
+			}
+		}
+	}
+}
+
 func TestMINRESIndefinite(t *testing.T) {
 	// A diagonal indefinite system: the exact regime of RQI shifts.
 	n := 25

@@ -59,6 +59,25 @@ type MINRESOptions struct {
 	ProjectOnes bool
 }
 
+// MINRESWork holds the six length-n work vectors of a MINRES solve so
+// repeated solves (the RQI inner loop) reuse one set of buffers instead of
+// allocating per call. The zero value is ready; slices grow on demand via
+// Grow, so callers that pre-size them from a scratch arena run
+// allocation-free.
+type MINRESWork struct {
+	V, VOld, W     []float64 // Lanczos vectors v_k, v_{k-1} and A·v scratch
+	D, DOld, DOld2 []float64 // direction recurrence d_k, d_{k-1}, d_{k-2}
+}
+
+func (wk *MINRESWork) grow(n int) {
+	wk.V = Grow(wk.V, n)
+	wk.VOld = Grow(wk.VOld, n)
+	wk.W = Grow(wk.W, n)
+	wk.D = Grow(wk.D, n)
+	wk.DOld = Grow(wk.DOld, n)
+	wk.DOld2 = Grow(wk.DOld2, n)
+}
+
 // MINRES solves A·x = b for symmetric (possibly indefinite) A using the
 // Paige–Saunders minimum-residual method. x is the output vector (its
 // initial content is ignored; the zero initial guess is used).
@@ -67,6 +86,11 @@ type MINRESOptions struct {
 // Fiedler computation (the role SYMMLQ plays in Barnard–Simon's original
 // implementation).
 func MINRES(A Operator, b []float64, x []float64, opt MINRESOptions) MINRESResult {
+	return MINRESWS(A, b, x, opt, &MINRESWork{})
+}
+
+// MINRESWS is MINRES with caller-provided work vectors; see MINRESWork.
+func MINRESWS(A Operator, b []float64, x []float64, opt MINRESOptions, work *MINRESWork) MINRESResult {
 	n := A.Dim()
 	if opt.Tol == 0 {
 		opt.Tol = 1e-10
@@ -77,14 +101,15 @@ func MINRES(A Operator, b []float64, x []float64, opt MINRESOptions) MINRESResul
 	for i := range x {
 		x[i] = 0
 	}
-	// Lanczos vectors.
-	v := make([]float64, n)    // current v_k
-	vOld := make([]float64, n) // v_{k-1}
-	w := make([]float64, n)    // scratch for A·v
-	// Direction recurrences.
-	d := make([]float64, n)    // d_k
-	dOld := make([]float64, n) // d_{k-1}
-	dOld2 := make([]float64, n)
+	work.grow(n)
+	v, vOld, w := work.V, work.VOld, work.W
+	d, dOld, dOld2 := work.D, work.DOld, work.DOld2
+	// The direction recurrence multiplies dOld/dOld2 by zero coefficients on
+	// the first iterations, which is only safe if recycled buffers hold
+	// finite values; clear them.
+	Fill(d, 0)
+	Fill(dOld, 0)
+	Fill(dOld2, 0)
 
 	copy(v, b)
 	if opt.ProjectOnes {

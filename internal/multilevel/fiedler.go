@@ -7,6 +7,7 @@ import (
 	"repro/internal/lanczos"
 	"repro/internal/laplacian"
 	"repro/internal/linalg"
+	"repro/internal/scratch"
 )
 
 // Options configures the multilevel Fiedler computation.
@@ -37,6 +38,9 @@ func (o *Options) setDefaults() {
 	if o.MaxLevels == 0 {
 		o.MaxLevels = 30
 	}
+	if o.MaxLevels < 1 {
+		o.MaxLevels = 1 // negative caps mean "no coarsening", not a panic
+	}
 	if o.SmoothSteps == 0 {
 		o.SmoothSteps = 3
 	}
@@ -55,27 +59,55 @@ type Result struct {
 	Levels int
 	// CoarsestN is the vertex count of the coarsest graph.
 	CoarsestN int
+	// MatVecs counts Laplacian applications across the whole solve: the
+	// coarsest Lanczos solve, every smoothing sweep, every RQI residual
+	// check and every MINRES inner iteration.
+	MatVecs int
+	// RQIIterations is the total RQI step count across all levels.
+	RQIIterations int
+	// JacobiSweeps is the total smoothing sweep count across all levels.
+	JacobiSweeps int
+	// Converged reports whether the solve met its tolerances: the
+	// coarsest-level eigensolve converged AND, when a hierarchy was built,
+	// the finest-level residual is within the RQI tolerance. When false the
+	// returned vector is the best partial result (still usable for
+	// ordering) and Residual records how far off it is — previously a
+	// partial coarsest solve was silently swallowed.
+	Converged bool
 }
 
 // Fiedler computes an approximate Fiedler vector of the connected graph g
 // using the multilevel contraction / interpolation / RQI-refinement scheme
 // of §3. Graphs already below CoarsestSize are handed straight to Lanczos.
 func Fiedler(g *graph.Graph, opt Options) (Result, error) {
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return FiedlerWS(ws, g, opt)
+}
+
+// FiedlerWS is Fiedler with caller-provided scratch: the whole hierarchy
+// (coarse CSR arrays, domain maps, per-level operators and iterates) lives
+// in ws arenas for the duration of the call. The returned vector is freshly
+// allocated and safe to retain.
+func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, error) {
 	opt.setDefaults()
 	n := g.N()
 	if n == 0 {
 		return Result{}, fmt.Errorf("multilevel: empty graph")
 	}
 	if n == 1 {
-		return Result{Lambda: 0, Vector: []float64{1}, Levels: 1, CoarsestN: 1}, nil
+		return Result{Lambda: 0, Vector: []float64{1}, Levels: 1, CoarsestN: 1, Converged: true}, nil
 	}
+	mark := ws.Mark()
+	defer ws.Release(mark)
 
 	// Build the hierarchy.
-	levels := []*graph.Graph{g}
-	var contractions []*Contraction
+	levels := make([]*graph.Graph, 1, opt.MaxLevels)
+	levels[0] = g
+	contractions := make([]*Contraction, 0, opt.MaxLevels)
 	cur := g
 	for cur.N() > opt.CoarsestSize && len(levels) < opt.MaxLevels {
-		c := Contract(cur, opt.Seed+int64(len(levels)))
+		c := ContractWS(ws, cur, opt.Seed+int64(len(levels)))
 		// Contraction must make progress; an independent set of size == n
 		// (edgeless graph) cannot shrink further.
 		if c.Coarse.N() >= cur.N() {
@@ -88,32 +120,56 @@ func Fiedler(g *graph.Graph, opt Options) (Result, error) {
 
 	// Solve the coarsest level with Lanczos.
 	coarsest := levels[len(levels)-1]
-	op := laplacian.Auto(coarsest)
+	res := Result{Levels: len(levels), CoarsestN: coarsest.N()}
+	op := laplacian.AutoFrom(coarsest, ws.Float64s(coarsest.N()))
 	lres, err := lanczos.Fiedler(op, op.GershgorinBound(), opt.Lanczos)
+	res.MatVecs += lres.MatVecs
 	if err != nil && lres.Vector == nil {
 		return Result{}, fmt.Errorf("multilevel: coarsest solve: %w", err)
 	}
+	// A partial (not-converged) coarsest vector is still usable for
+	// ordering, but the miss must not vanish: record it in Converged and
+	// let the finest-level Residual quantify it.
+	res.Converged = err == nil
 	x := lres.Vector
 
 	// Interpolate and refine up the hierarchy.
+	shifted := &linalg.ShiftedOp{}
+	finestOp := op
 	for li := len(contractions) - 1; li >= 0; li-- {
 		c := contractions[li]
 		fineG := levels[li]
-		x = c.Interpolate(x)
+		fx := ws.Float64s(fineG.N())
+		c.InterpolateInto(fx, x)
+		x = fx
 		linalg.ProjectOutOnes(x)
 		linalg.Normalize(x)
-		fineOp := laplacian.Auto(fineG)
-		jacobiSmooth(fineG, fineOp, x, opt.SmoothSteps)
-		RQI(fineG, x, opt.RQI)
+		fineOp := laplacian.AutoFrom(fineG, ws.Float64s(fineG.N()))
+		res.MatVecs += JacobiSmoothWS(ws, fineG, fineOp, x, opt.SmoothSteps)
+		res.JacobiSweeps += opt.SmoothSteps
+		rr := rqiRefine(ws, fineOp, x, opt.RQI, shifted)
+		res.RQIIterations += rr.Iterations
+		res.MatVecs += rr.MatVecs
+		finestOp = fineOp
 	}
 
-	fineOp := laplacian.Auto(g)
-	res := Result{
-		Vector:    x,
-		Lambda:    fineOp.RayleighQuotient(x),
-		Residual:  rayleighResidual(fineOp, x),
-		Levels:    len(levels),
-		CoarsestN: coarsest.N(),
+	res.Lambda = finestOp.RayleighQuotient(x)
+	res.Residual = rayleighResidual(ws, finestOp, x)
+	res.MatVecs++
+	if len(contractions) > 0 {
+		// The refinement is only converged if the finest residual met the
+		// RQI target — the same test rqiRefine applies per level — so the
+		// uniform Stats.Converged means the same thing for every scheme.
+		rqiOpt := opt.RQI
+		rqiOpt.setDefaults()
+		scale := finestOp.GershgorinBound()
+		if scale <= 0 {
+			scale = 1
+		}
+		res.Converged = res.Converged && res.Residual <= rqiOpt.Tol*scale
+		// x is ws-backed; copy it out so the result outlives the arenas.
+		x = append([]float64(nil), x...)
 	}
+	res.Vector = x
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/laplacian"
 	"repro/internal/linalg"
+	"repro/internal/scratch"
 )
 
 // RQIOptions configures the Rayleigh Quotient Iteration refinement.
@@ -40,15 +41,27 @@ type RQIResult struct {
 	Residual   float64
 	Iterations int
 	InnerIters int
+	// MatVecs counts Laplacian applications (residual checks plus one per
+	// MINRES inner iteration).
+	MatVecs int
+	// Converged reports Residual ≤ Tol·scale under the iteration's own
+	// tolerance — the single source of truth consumers should read instead
+	// of re-deriving the test.
+	Converged bool
 }
 
-// jacobiSmooth applies a few weighted-Jacobi smoothing steps toward the
+// JacobiSmoothWS applies weighted-Jacobi smoothing steps toward the
 // small end of the spectrum: x ← x − ω·D⁻¹(Lx − ρx), keeping x ⊥ 1. It
 // knocks the piecewise-constant interpolation artifacts (high-frequency
-// error) out of the iterate before RQI locks onto an eigenpair.
-func jacobiSmooth(g *graph.Graph, op laplacian.Interface, x []float64, steps int) {
+// error) out of the iterate before RQI locks onto an eigenpair. It returns
+// the matvec count (one Laplacian application per sweep). Exported for the
+// standalone RQI solver in internal/solver, which smooths its random start
+// the same way the V-cycle smooths an interpolant.
+func JacobiSmoothWS(ws *scratch.Workspace, g *graph.Graph, op laplacian.Interface, x []float64, steps int) int {
 	n := g.N()
-	y := make([]float64, n)
+	m := ws.Mark()
+	defer ws.Release(m)
+	y := ws.Float64s(n)
 	const omega = 0.5
 	for s := 0; s < steps; s++ {
 		rho := op.RayleighQuotient(x)
@@ -63,6 +76,7 @@ func jacobiSmooth(g *graph.Graph, op laplacian.Interface, x []float64, steps int
 		linalg.ProjectOutOnes(x)
 		linalg.Normalize(x)
 	}
+	return steps
 }
 
 // RQI refines an approximate Fiedler vector x (modified in place) of the
@@ -72,13 +86,38 @@ func jacobiSmooth(g *graph.Graph, op laplacian.Interface, x []float64, steps int
 // Rayleigh quotient. Iterates are kept orthogonal to the constant vector,
 // on which L − ρI is nonsingular for 0 < ρ < λ2 or λ2-adjacent shifts.
 func RQI(g *graph.Graph, x []float64, opt RQIOptions) RQIResult {
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	return RQIWS(ws, g, x, opt)
+}
+
+// RQIWS is RQI with caller-provided scratch: the operator's degree table,
+// the residual and solution vectors and the MINRES work vectors all come
+// from ws.
+func RQIWS(ws *scratch.Workspace, g *graph.Graph, x []float64, opt RQIOptions) RQIResult {
+	m := ws.Mark()
+	defer ws.Release(m)
+	return RQIOnWS(ws, laplacian.AutoFrom(g, ws.Float64s(g.N())), x, opt)
+}
+
+// RQIOnWS is RQIWS against an already-constructed Laplacian operator, for
+// callers (the standalone RQI solver) that hold one from an earlier stage.
+func RQIOnWS(ws *scratch.Workspace, op laplacian.Interface, x []float64, opt RQIOptions) RQIResult {
+	shifted := &linalg.ShiftedOp{A: op}
+	return rqiRefine(ws, op, x, opt, shifted)
+}
+
+// rqiRefine is the workspace-threaded RQI core shared by RQIWS and the
+// V-cycle in FiedlerWS. shifted is a reusable shifted-operator shell (its A
+// and Sigma are overwritten) so the hot loop boxes no new operator values;
+// the caller allocates it once per solve.
+func rqiRefine(ws *scratch.Workspace, op laplacian.Interface, x []float64, opt RQIOptions, shifted *linalg.ShiftedOp) RQIResult {
 	opt.setDefaults()
-	op := laplacian.Auto(g)
 	scale := op.GershgorinBound()
 	if scale <= 0 {
 		scale = 1
 	}
-	n := g.N()
+	n := op.Dim()
 
 	linalg.ProjectOutOnes(x)
 	if linalg.Normalize(x) == 0 {
@@ -90,26 +129,36 @@ func RQI(g *graph.Graph, x []float64, opt RQIOptions) RQIResult {
 		linalg.Normalize(x)
 	}
 
+	m := ws.Mark()
+	defer ws.Release(m)
 	var res RQIResult
-	r := make([]float64, n)
-	y := make([]float64, n)
+	r := ws.Float64s(n)
+	y := ws.Float64s(n)
+	work := linalg.MINRESWork{
+		V: ws.Float64s(n), VOld: ws.Float64s(n), W: ws.Float64s(n),
+		D: ws.Float64s(n), DOld: ws.Float64s(n), DOld2: ws.Float64s(n),
+	}
+	shifted.A = op
 	for it := 0; it < opt.MaxIter; it++ {
 		rho := op.RayleighQuotient(x)
 		op.Apply(x, r)
+		res.MatVecs++
 		linalg.Axpy(-rho, x, r)
 		res.Lambda = rho
 		res.Residual = linalg.Nrm2(r)
 		res.Iterations = it
 		if res.Residual <= opt.Tol*scale {
+			res.Converged = true
 			return res
 		}
-		shifted := linalg.ShiftedOp{A: op, Sigma: rho}
-		mr := linalg.MINRES(shifted, x, y, linalg.MINRESOptions{
+		shifted.Sigma = rho
+		mr := linalg.MINRESWS(shifted, x, y, linalg.MINRESOptions{
 			Tol:         opt.InnerTol,
 			MaxIter:     opt.InnerMaxIter,
 			ProjectOnes: true,
-		})
+		}, &work)
 		res.InnerIters += mr.Iterations
+		res.MatVecs += mr.Iterations
 		linalg.ProjectOutOnes(y)
 		if linalg.Normalize(y) == 0 {
 			// Breakdown: the solve returned (numerically) zero. Keep x.
@@ -119,17 +168,21 @@ func RQI(g *graph.Graph, x []float64, opt RQIOptions) RQIResult {
 	}
 	rho := op.RayleighQuotient(x)
 	op.Apply(x, r)
+	res.MatVecs++
 	linalg.Axpy(-rho, x, r)
 	res.Lambda = rho
 	res.Residual = linalg.Nrm2(r)
 	res.Iterations = opt.MaxIter
+	res.Converged = res.Residual <= opt.Tol*scale
 	return res
 }
 
-// rayleighResidual returns ‖Lx − ρx‖ for diagnostics.
-func rayleighResidual(op laplacian.Interface, x []float64) float64 {
-	n := op.Dim()
-	r := make([]float64, n)
+// rayleighResidual returns ‖Lx − ρx‖ for diagnostics, using a ws-backed
+// residual vector.
+func rayleighResidual(ws *scratch.Workspace, op laplacian.Interface, x []float64) float64 {
+	m := ws.Mark()
+	defer ws.Release(m)
+	r := ws.Float64s(op.Dim())
 	rho := op.RayleighQuotient(x)
 	op.Apply(x, r)
 	linalg.Axpy(-rho, x, r)

@@ -25,11 +25,23 @@ func gkComponent(g *graph.Graph) []int32 {
 		return []int32{0}
 	}
 	c := diameterAndCombine(g)
+	return gkNumber(g, c)
+}
+
+func gkNumber(g *graph.Graph, c *combined) []int32 {
 	order := numberByKing(g, c)
-	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-		order[i], order[j] = order[j], order[i]
-	}
+	reverse(order)
 	return order
+}
+
+// GKFromDiameter is the Gibbs–King ordering of the connected graph g built
+// on a precomputed pseudo-diameter (see GPSFromDiameter). The level
+// structures are read, never modified.
+func GKFromDiameter(g *graph.Graph, u, v int, lsU, lsV *graph.LevelStructure) perm.Perm {
+	if g.N() == 1 {
+		return perm.Perm{0}
+	}
+	return perm.Perm(gkNumber(g, combineLevelStructures(g, u, v, lsU, lsV)))
 }
 
 // kingState maintains King's greedy criterion incrementally.
@@ -210,11 +222,21 @@ func King(g *graph.Graph) perm.Perm {
 }
 
 func kingComponent(g *graph.Graph) []int32 {
-	n := g.N()
-	if n == 0 {
+	if g.N() == 0 {
 		return nil
 	}
 	root, _ := graph.PseudoPeripheral(g, 0)
+	return kingRooted(g, root)
+}
+
+// KingFromRoot is King's ordering of the connected graph g from a
+// precomputed pseudo-peripheral root (see CuthillMcKeeFromRootWS).
+func KingFromRoot(g *graph.Graph, root int) perm.Perm {
+	return perm.Perm(kingRooted(g, root))
+}
+
+func kingRooted(g *graph.Graph, root int) []int32 {
+	n := g.N()
 	ks := newKingState(g)
 	var touched []int32
 	h := make(kingHeap, 0, n)
@@ -245,8 +267,6 @@ func kingComponent(g *graph.Graph) []int32 {
 			}
 		}
 	}
-	for i, j := 0, len(ks.order)-1; i < j; i, j = i+1, j-1 {
-		ks.order[i], ks.order[j] = ks.order[j], ks.order[i]
-	}
+	reverse(ks.order)
 	return ks.order
 }

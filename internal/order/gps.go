@@ -25,11 +25,24 @@ func gpsComponent(g *graph.Graph) []int32 {
 		return []int32{0}
 	}
 	c := diameterAndCombine(g)
+	return gpsNumber(g, c)
+}
+
+func gpsNumber(g *graph.Graph, c *combined) []int32 {
 	order := numberByAdjacency(g, c)
-	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-		order[i], order[j] = order[j], order[i]
-	}
+	reverse(order)
 	return order
+}
+
+// GPSFromDiameter is the GPS ordering of the connected graph g built on a
+// precomputed pseudo-diameter (u, v, lsU, lsV) — the artifact the portfolio
+// pipeline caches per component so GPS, GK and Sloan share one
+// pseudo-diameter search. The level structures are read, never modified.
+func GPSFromDiameter(g *graph.Graph, u, v int, lsU, lsV *graph.LevelStructure) perm.Perm {
+	if g.N() == 1 {
+		return perm.Perm{0}
+	}
+	return perm.Perm(gpsNumber(g, combineLevelStructures(g, u, v, lsU, lsV)))
 }
 
 // numberByAdjacency is the GPS numbering pass (GPS 1976, step III,

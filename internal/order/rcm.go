@@ -75,13 +75,20 @@ func overComponentsWS(ws *scratch.Workspace, g *graph.Graph, f func(ws *scratch.
 // increasing degree (ties by label). The result is an adjacency ordering
 // (§2.4 of the paper).
 func cmComponentInto(ws *scratch.Workspace, g *graph.Graph, out []int32) []int32 {
-	n := g.N()
-	if n == 0 {
+	if g.N() == 0 {
 		return out
 	}
+	root, _ := graph.PseudoPeripheral(g, 0)
+	return cmRootedInto(ws, g, root, out)
+}
+
+// cmRootedInto is the Cuthill–McKee numbering from a given root (the
+// second half of cmComponentInto, split so callers with a cached
+// pseudo-peripheral vertex skip the peripheral search).
+func cmRootedInto(ws *scratch.Workspace, g *graph.Graph, root int, out []int32) []int32 {
+	n := g.N()
 	m := ws.Mark()
 	defer ws.Release(m)
-	root, _ := graph.PseudoPeripheral(g, 0)
 	numbered := ws.Bools(n)
 	buf := ws.Int32s(n)
 	head := len(out)
@@ -134,9 +141,30 @@ func RCMWS(ws *scratch.Workspace, g *graph.Graph) perm.Perm {
 	return overComponentsWS(ws, g, func(ws *scratch.Workspace, sub *graph.Graph, out []int32) []int32 {
 		start := len(out)
 		out = cmComponentInto(ws, sub, out)
-		for i, j := start, len(out)-1; i < j; i, j = i+1, j-1 {
-			out[i], out[j] = out[j], out[i]
-		}
+		reverse(out[start:])
 		return out
 	})
+}
+
+// CuthillMcKeeFromRootWS is the Cuthill–McKee ordering of the connected
+// graph g started at a precomputed pseudo-peripheral root — the artifact
+// the portfolio pipeline caches per component so racing CM, RCM and King
+// pays for one George–Liu search, not three.
+func CuthillMcKeeFromRootWS(ws *scratch.Workspace, g *graph.Graph, root int) perm.Perm {
+	return perm.Perm(cmRootedInto(ws, g, root, make([]int32, 0, g.N())))
+}
+
+// RCMFromRootWS is the reverse Cuthill–McKee ordering of the connected
+// graph g from a precomputed pseudo-peripheral root.
+func RCMFromRootWS(ws *scratch.Workspace, g *graph.Graph, root int) perm.Perm {
+	o := cmRootedInto(ws, g, root, make([]int32, 0, g.N()))
+	reverse(o)
+	return perm.Perm(o)
+}
+
+// reverse flips a slice in place.
+func reverse(s []int32) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
 }

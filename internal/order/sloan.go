@@ -206,6 +206,22 @@ func sloanComponentInto(ws *scratch.Workspace, g *graph.Graph, start int, dist [
 	return out
 }
 
+// SloanFromDiameterWS is Sloan's ordering of the connected graph g from a
+// precomputed pseudo-diameter: start numbering at endpoint u with the BFS
+// distances to the far endpoint (lsV.LevelOf for lsV rooted at v) as the
+// global priority. distToEnd is read, never modified.
+func SloanFromDiameterWS(ws *scratch.Workspace, g *graph.Graph, u int, distToEnd []int32) perm.Perm {
+	n := g.N()
+	if n == 0 {
+		return perm.Perm{}
+	}
+	if n == 1 {
+		return perm.Perm{0}
+	}
+	w := DefaultSloanWeights()
+	return perm.Perm(sloanComponentInto(ws, g, u, distToEnd, w, make([]int32, 0, n)))
+}
+
 // SloanOrderWithGlobal exposes the Sloan numbering for a connected graph
 // with an arbitrary global priority vector; the spectral–Sloan hybrid in
 // internal/core is its consumer.

@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/perm"
+	"repro/internal/scratch"
+	"repro/internal/solver"
+)
+
+// Artifacts memoizes the expensive per-component precomputations the
+// portfolio candidates share: the Fiedler eigensolve (SPECTRAL and
+// SPECTRAL+SLOAN), the George–Liu pseudo-peripheral root (CM, RCM, King)
+// and the GPS pseudo-diameter pair with its two rooted level structures
+// (GPS, GK, Sloan). Each artifact is computed at most once per component —
+// by whichever racing candidate asks first — and every computation is a
+// pure function of the component graph and the engine options, so the
+// memoization preserves the engine's determinism contract regardless of
+// which worker wins the race.
+//
+// Results are plain heap values (never workspace-backed): candidates on
+// other workers read them after their sync.Once completes.
+type Artifacts struct {
+	g   *graph.Graph
+	opt core.Options
+
+	fiedlerOnce  sync.Once
+	fiedlerDone  bool
+	fiedlerVec   []float64
+	fiedlerStats solver.Stats
+	fiedlerErr   error
+
+	spectralOnce  sync.Once
+	spectralOrd   perm.Perm
+	spectralEsize int64
+
+	rootOnce sync.Once
+	root     int
+	rootLS   *graph.LevelStructure
+
+	pdOnce       sync.Once
+	pdU, pdV     int
+	pdLSU, pdLSV *graph.LevelStructure
+}
+
+func newArtifacts(g *graph.Graph, opt core.Options) *Artifacts {
+	return &Artifacts{g: g, opt: opt}
+}
+
+// Fiedler returns the component's memoized Fiedler vector and solver
+// statistics, computing them on first call (ws is used only for that
+// computation's scratch). Both spectral portfolio candidates call this, so
+// the component pays for exactly one eigensolve.
+func (a *Artifacts) Fiedler(ws *scratch.Workspace) ([]float64, solver.Stats, error) {
+	a.fiedlerOnce.Do(func() {
+		a.fiedlerVec, a.fiedlerStats, a.fiedlerErr = core.FiedlerConnectedWS(ws, a.g, a.opt)
+		a.fiedlerDone = true
+	})
+	return a.fiedlerVec, a.fiedlerStats, a.fiedlerErr
+}
+
+// Spectral returns the component's memoized Algorithm 1 ordering (the
+// Fiedler vector sorted in the better direction) with its envelope size and
+// the solve statistics. SPECTRAL returns it directly; SPECTRAL+SLOAN
+// refines it — neither repeats the eigensolve, the sort or the
+// both-direction envelope scan.
+func (a *Artifacts) Spectral(ws *scratch.Workspace) (perm.Perm, int64, solver.Stats, error) {
+	a.spectralOnce.Do(func() {
+		x, _, err := a.Fiedler(ws)
+		if err != nil {
+			return
+		}
+		a.spectralOrd, a.spectralEsize, _ = core.OrderFiedler(ws, a.g, x)
+	})
+	return a.spectralOrd, a.spectralEsize, a.fiedlerStats, a.fiedlerErr
+}
+
+// Root returns the memoized George–Liu pseudo-peripheral vertex of the
+// component — the start vertex of CM, RCM and King.
+func (a *Artifacts) Root() int {
+	a.rootOnce.Do(func() {
+		a.root, a.rootLS = graph.PseudoPeripheral(a.g, 0)
+	})
+	return a.root
+}
+
+// Diameter returns the memoized GPS pseudo-diameter endpoints and their
+// rooted level structures — the substrate of GPS, GK and Sloan. The
+// returned structures are shared: callers must treat them as read-only.
+func (a *Artifacts) Diameter() (u, v int, lsU, lsV *graph.LevelStructure) {
+	a.pdOnce.Do(func() {
+		a.Root() // the diameter search continues from the peripheral root
+		a.pdU, a.pdV, a.pdLSU, a.pdLSV = graph.PseudoDiameterFrom(a.g, a.root, a.rootLS)
+	})
+	return a.pdU, a.pdV, a.pdLSU, a.pdLSV
+}

@@ -6,6 +6,14 @@
 // portfolio position), and stitches the per-component winners into one
 // global permutation.
 //
+// Candidates on the same component share a per-component artifact cache
+// (see Artifacts): the Fiedler eigensolve, the pseudo-peripheral root and
+// the pseudo-diameter pair are each computed once — by whichever racing
+// candidate asks first — so SPECTRAL and SPECTRAL+SLOAN cost one
+// eigensolve per component, and the BFS-rooted algorithms share their
+// peripheral searches. Artifacts are pure functions of the component and
+// the seed, so sharing does not perturb determinism or results.
+//
 // The engine is deterministic: for a fixed graph, portfolio and seed the
 // result is byte-identical regardless of Parallelism or goroutine
 // scheduling, because every (component, algorithm) candidate is computed
@@ -29,6 +37,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/perm"
 	"repro/internal/scratch"
+	"repro/internal/solver"
 )
 
 // Canonical algorithm names accepted in Options.Portfolio.
@@ -89,6 +98,11 @@ type Candidate struct {
 	// breakdown) or returned an invalid permutation.
 	Skipped bool
 	Err     string
+	// Solve carries the eigensolver statistics behind a spectral candidate
+	// (nil for the combinatorial algorithms). SPECTRAL and SPECTRAL+SLOAN
+	// report the same solve: the component's artifact cache runs it once
+	// and both candidates share the result.
+	Solve *solver.Stats `json:",omitempty"`
 }
 
 // ComponentReport describes the portfolio outcome on one component.
@@ -114,19 +128,22 @@ type Report struct {
 	Stats       envelope.Stats
 	Parallelism int
 	Seconds     float64
+	// Eigensolves counts the Fiedler eigensolves actually performed: with
+	// both spectral candidates in the portfolio this is one per nontrivial
+	// component, not two — the per-component artifact cache shares the
+	// solve.
+	Eigensolves int
+	// Solve aggregates the eigensolver statistics across all components:
+	// counters summed, estimates (λ2, residual, hierarchy shape) from the
+	// largest component that ran a solve.
+	Solve solver.Stats
 }
 
-// orderFunc orders a connected graph. The workspace is the calling worker's
-// scratch; implementations must not retain it or any buffer from it.
-type orderFunc func(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, error)
-
-func plain(f func(*graph.Graph) perm.Perm) orderFunc {
-	return func(_ *scratch.Workspace, g *graph.Graph, _ Options) (perm.Perm, error) { return f(g), nil }
-}
-
-func plainWS(f func(*scratch.Workspace, *graph.Graph) perm.Perm) orderFunc {
-	return func(ws *scratch.Workspace, g *graph.Graph, _ Options) (perm.Perm, error) { return f(ws, g), nil }
-}
+// orderFunc orders a connected component (≥ 3 vertices). The workspace is
+// the calling worker's scratch; implementations must not retain it or any
+// buffer from it. art is the component's shared artifact cache; the
+// optional stats report the eigensolve behind a spectral candidate.
+type orderFunc func(ws *scratch.Workspace, g *graph.Graph, opt Options, art *Artifacts) (perm.Perm, *solver.Stats, error)
 
 func spectralOpt(opt Options) core.Options {
 	s := opt.Spectral
@@ -137,19 +154,40 @@ func spectralOpt(opt Options) core.Options {
 }
 
 var registry = map[string]orderFunc{
-	AlgRCM:   plainWS(order.RCMWS),
-	AlgCM:    plainWS(order.CuthillMcKeeWS),
-	AlgGPS:   plain(order.GPS),
-	AlgGK:    plain(order.GK),
-	AlgKing:  plain(order.King),
-	AlgSloan: plainWS(order.SloanWS),
-	AlgSpectral: func(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, error) {
-		p, _, err := core.SpectralWS(ws, g, spectralOpt(opt))
-		return p, err
+	AlgRCM: func(ws *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
+		return order.RCMFromRootWS(ws, g, art.Root()), nil, nil
 	},
-	AlgSpectralSloan: func(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, error) {
-		p, _, err := core.SpectralSloanWS(ws, g, spectralOpt(opt))
-		return p, err
+	AlgCM: func(ws *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
+		return order.CuthillMcKeeFromRootWS(ws, g, art.Root()), nil, nil
+	},
+	AlgGPS: func(_ *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
+		u, v, lsU, lsV := art.Diameter()
+		return order.GPSFromDiameter(g, u, v, lsU, lsV), nil, nil
+	},
+	AlgGK: func(_ *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
+		u, v, lsU, lsV := art.Diameter()
+		return order.GKFromDiameter(g, u, v, lsU, lsV), nil, nil
+	},
+	AlgKing: func(_ *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
+		return order.KingFromRoot(g, art.Root()), nil, nil
+	},
+	AlgSloan: func(ws *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
+		u, _, _, lsV := art.Diameter()
+		return order.SloanFromDiameterWS(ws, g, u, lsV.LevelOf), nil, nil
+	},
+	AlgSpectral: func(ws *scratch.Workspace, _ *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
+		o, _, st, err := art.Spectral(ws)
+		if err != nil {
+			return nil, &st, err
+		}
+		return o, &st, nil
+	},
+	AlgSpectralSloan: func(ws *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
+		spectral, esize, st, err := art.Spectral(ws)
+		if err != nil {
+			return nil, &st, err
+		}
+		return core.RefineSpectralWS(ws, g, spectral, esize), &st, nil
 	},
 }
 
@@ -180,6 +218,7 @@ type componentWork struct {
 	verts []int
 	sub   *graph.Graph
 	old   []int
+	art   *Artifacts
 	cands []candidate
 }
 
@@ -231,6 +270,7 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 		w.sub = &graph.Graph{}
 		g.SubgraphInto(ws, w.sub, w.verts)
 		w.old = w.verts
+		w.art = newArtifacts(w.sub, spectralOpt(opt))
 	})
 
 	// Stage 2: race the portfolio — one task per (component, algorithm)
@@ -263,8 +303,9 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 			return
 		}
 		t0 := time.Now()
-		o, err := registry[names[t.ai]](ws, w.sub, opt)
+		o, solve, err := registry[names[t.ai]](ws, w.sub, opt, w.art)
 		slot.Seconds = time.Since(t0).Seconds()
+		slot.Solve = solve
 		if err == nil {
 			err = o.Check()
 		}
@@ -284,7 +325,36 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 	}
 
 	// Stage 3: pick winners and stitch, in deterministic component order.
+	// Eigensolver statistics aggregate largest-component-first: the first
+	// component whose solve succeeded provides the estimates; every solve
+	// that ran — errored ones included — contributes its counters, and any
+	// failure or partial convergence clears the aggregate Converged.
 	out := make(perm.Perm, 0, n)
+	var counters solver.Stats
+	allConverged := true
+	haveEstimates := false
+	for _, w := range work {
+		a := w.art
+		if a == nil || !a.fiedlerDone {
+			continue
+		}
+		rep.Eigensolves++
+		st := a.fiedlerStats
+		counters.AddCounters(st)
+		if a.fiedlerErr != nil || !st.Converged {
+			allConverged = false
+		}
+		if !haveEstimates && a.fiedlerErr == nil {
+			rep.Solve = st
+			haveEstimates = true
+		}
+	}
+	if rep.Eigensolves > 0 {
+		// Replace the estimate-solve's own counters with the run totals.
+		rep.Solve.MatVecs, rep.Solve.RQIIterations, rep.Solve.JacobiSweeps = 0, 0, 0
+		rep.Solve.AddCounters(counters)
+		rep.Solve.Converged = allConverged
+	}
 	for ci, w := range work {
 		cr := ComponentReport{Index: ci, Size: len(w.verts)}
 		var local perm.Perm

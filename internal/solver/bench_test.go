@@ -1,0 +1,41 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/scratch"
+)
+
+// BenchmarkEigensolver is the multilevel-vs-direct-Lanczos ablation the
+// BENCH_pipeline.json artifact tracks: the same Fiedler computation at the
+// two sizes bracketing the core.AutoThreshold crossover (n ≈ 2k and
+// n ≈ 20k). The matvecs/solve metric rides along so the artifact records
+// solver work, not just wall clock.
+func BenchmarkEigensolver(b *testing.B) {
+	sizes := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"n2k", graph.Grid(45, 45)},    // 2025 vertices
+		{"n20k", graph.Grid(141, 141)}, // 19881 vertices
+	}
+	for _, sz := range sizes {
+		for _, s := range []Solver{Multilevel{}, Lanczos{}} {
+			b.Run(s.Name()+"/"+sz.name, func(b *testing.B) {
+				ws := scratch.New()
+				b.ReportAllocs()
+				b.ResetTimer()
+				var matvecs int
+				for i := 0; i < b.N; i++ {
+					_, st, err := s.Solve(ws, sz.g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					matvecs = st.MatVecs
+				}
+				b.ReportMetric(float64(matvecs), "matvecs/solve")
+			})
+		}
+	}
+}
