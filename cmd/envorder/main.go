@@ -175,9 +175,12 @@ func main() {
 	if info != nil {
 		fmt.Printf("lambda2   : %.6g (residual %.2e, multilevel=%v, reversed=%v)\n",
 			info.Lambda2, info.Residual, info.Multilevel, info.Reversed)
+		fmt.Printf("solver    : %s (matvecs %d, spmv workers %d)\n",
+			info.Solve.Scheme, info.Solve.MatVecs, info.Solve.Workers)
 	}
 	if report != nil {
-		fmt.Printf("portfolio : %d component(s) on %d worker(s)\n", len(report.Components), report.Parallelism)
+		fmt.Printf("portfolio : %d component(s) on %d worker(s), spmv workers %d\n",
+			len(report.Components), report.Parallelism, report.Solve.Workers)
 		for _, cr := range report.Components {
 			skipped := 0
 			for _, c := range cr.Candidates {

@@ -104,14 +104,31 @@
 // work vectors — out of the same arenas, so the V-cycle refinement
 // (interpolate + smooth + RQI) runs at 0 allocs/op once warm.
 //
+// The Lanczos eigensolve — the hottest loop in the repository — follows
+// the same discipline with its own workspace (lanczos.Work): the Krylov
+// basis is a single contiguous row-major backing array (row j = basis
+// vector j), reorthogonalization runs as blocked BLAS-2 kernels over it
+// (linalg.OrthoMGS for the modified-Gram–Schmidt pass, linalg.GemvT /
+// linalg.GemvSub for the classical refinement pass near breakdown), the
+// α/β tridiagonal buffers and the Ritz extraction scratch are reused
+// across restart cycles, and the operators fuse the three-term recurrence
+// into the matvec (linalg.AxpyApplier). lanczos.FiedlerWS with a warm Work
+// is 0 allocs/op per solve. The matvec itself is laplacian.ParallelOp:
+// nonzero-balanced row blocks executed by a pool of persistent worker
+// goroutines shared process-wide, engaged automatically above the
+// laplacian.MinRowsPerWorker / MinNnzPerWorker thresholds (the tunable
+// parallel-crossover knobs) or by explicit request, with the chosen
+// fan-out reported as SolveStats.Workers through every layer.
+//
 // The workspace contract: a workspace must not be shared across goroutines,
 // and buffers obtained from one are only valid until the matching release —
 // never retain them or return them to callers. Results that outlive a call
 // (permutations, extracted subgraphs held across pipeline stages, Fiedler
 // vectors memoized in the artifact cache) are always freshly allocated or
 // copied out. testing.AllocsPerRun guards in internal/envelope,
-// internal/graph and internal/multilevel pin the steady-state envelope
-// scoring, subgraph extraction and V-cycle refinement paths at 0
-// allocs/op, and CI regenerates the BENCH_pipeline.json artifact and fails
-// if those gates regress.
+// internal/graph, internal/multilevel, internal/lanczos and
+// internal/linalg pin the steady-state envelope scoring, subgraph
+// extraction, V-cycle refinement, Lanczos solve and Ritz extraction paths
+// at 0 allocs/op, and CI regenerates the BENCH_pipeline.json artifact and
+// fails if those gates regress.
 package envred

@@ -18,6 +18,7 @@ import (
 	"repro/internal/envelope"
 	"repro/internal/graph"
 	"repro/internal/lanczos"
+	"repro/internal/laplacian"
 	"repro/internal/multilevel"
 	"repro/internal/order"
 	"repro/internal/perm"
@@ -58,6 +59,13 @@ type Options struct {
 	Multilevel multilevel.Options
 	// Seed drives all randomized pieces; runs are reproducible per seed.
 	Seed int64
+	// Operator, when non-nil, is a pre-built Laplacian operator of the
+	// exact (connected) graph being solved, threaded through to the
+	// selected scheme's finest level. The pipeline's per-component artifact
+	// cache uses it to share one operator — with its persistent-pool worker
+	// partition — across a component's spectral candidates. Leave nil for
+	// whole-graph calls: Spectral's per-component dispatch builds its own.
+	Operator laplacian.Interface
 }
 
 func (o Options) threshold() int {
@@ -89,13 +97,13 @@ func (o Options) Solver(n int) solver.Solver {
 		if mlOpt.Lanczos.Seed == 0 {
 			mlOpt.Lanczos.Seed = o.Seed
 		}
-		return solver.Multilevel{Opt: mlOpt}
+		return solver.Multilevel{Opt: mlOpt, Op: o.Operator}
 	}
 	lOpt := o.Lanczos
 	if lOpt.Seed == 0 {
 		lOpt.Seed = o.Seed
 	}
-	return solver.Lanczos{Opt: lOpt}
+	return solver.Lanczos{Opt: lOpt, Op: o.Operator}
 }
 
 // Info reports diagnostics of a spectral ordering run.
@@ -182,6 +190,9 @@ func SpectralWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, 
 	}
 	comps := graph.Components(g)
 	info.Components = len(comps)
+	// A caller-supplied operator describes the whole graph, not the
+	// component subgraphs about to be solved.
+	opt.Operator = nil
 	out := make(perm.Perm, 0, n)
 	var sub graph.Graph
 	for ci, comp := range comps {

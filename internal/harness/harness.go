@@ -23,6 +23,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/perm"
 	"repro/internal/pipeline"
+	"repro/internal/solver"
 )
 
 // Algorithm names in the paper's table order, plus the portfolio engine.
@@ -34,10 +35,10 @@ const (
 	AlgAuto     = "AUTO"
 )
 
-// OrderFunc computes an ordering of a graph and reports the eigensolver
-// matvec count of the run (0 for the combinatorial orderings) — the
-// per-row solver-work column of the suite tables.
-type OrderFunc func(*graph.Graph) (perm.Perm, int, error)
+// OrderFunc computes an ordering of a graph and reports the uniform
+// eigensolver statistics of the run (the zero Stats for the combinatorial
+// orderings) — the per-row MatVecs and Workers columns of the suite tables.
+type OrderFunc func(*graph.Graph) (perm.Perm, solver.Stats, error)
 
 // NamedAlgorithm pairs a table label with its ordering function.
 type NamedAlgorithm struct {
@@ -49,9 +50,9 @@ type NamedAlgorithm struct {
 // drives the spectral solver's randomness.
 func Algorithms(seed int64) []NamedAlgorithm {
 	return []NamedAlgorithm{
-		{AlgSpectral, func(g *graph.Graph) (perm.Perm, int, error) {
+		{AlgSpectral, func(g *graph.Graph) (perm.Perm, solver.Stats, error) {
 			p, info, err := core.Spectral(g, core.Options{Seed: seed})
-			return p, info.MatVecs, err
+			return p, info.Solve, err
 		}},
 		{AlgGK, wrap(order.GK)},
 		{AlgGPS, wrap(order.GPS)},
@@ -60,7 +61,7 @@ func Algorithms(seed int64) []NamedAlgorithm {
 }
 
 func wrap(f func(*graph.Graph) perm.Perm) OrderFunc {
-	return func(g *graph.Graph) (perm.Perm, int, error) { return f(g), 0, nil }
+	return func(g *graph.Graph) (perm.Perm, solver.Stats, error) { return f(g), solver.Stats{}, nil }
 }
 
 // PortfolioAlgorithms returns the paper's four contenders plus the AUTO
@@ -68,9 +69,9 @@ func wrap(f func(*graph.Graph) perm.Perm) OrderFunc {
 // (≤ 0 means GOMAXPROCS). The AUTO row shows what racing all contenders
 // per component buys over committing to any single one.
 func PortfolioAlgorithms(seed int64, parallel int) []NamedAlgorithm {
-	return append(Algorithms(seed), NamedAlgorithm{AlgAuto, func(g *graph.Graph) (perm.Perm, int, error) {
+	return append(Algorithms(seed), NamedAlgorithm{AlgAuto, func(g *graph.Graph) (perm.Perm, solver.Stats, error) {
 		p, rep, err := pipeline.Auto(g, pipeline.Options{Seed: seed, Parallelism: parallel})
-		return p, rep.Solve.MatVecs, err
+		return p, rep.Solve, err
 	}})
 }
 
@@ -86,6 +87,10 @@ type Row struct {
 	// applications across every solve of the run (0 for the combinatorial
 	// orderings).
 	MatVecs int
+	// Workers is the widest row-block fan-out any of the row's Laplacian
+	// matvecs ran across (0 for the combinatorial orderings, 1 for a
+	// serial eigensolve) — sourced from solver.Stats.Workers.
+	Workers int
 }
 
 // ProblemResult gathers the four rows of one problem, in table order.
@@ -112,7 +117,7 @@ func runProblem(p gen.Problem, algs []NamedAlgorithm) (ProblemResult, error) {
 	res := ProblemResult{Problem: p}
 	for _, alg := range algs {
 		start := time.Now()
-		o, matvecs, err := alg.F(p.G)
+		o, solve, err := alg.F(p.G)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
 			return res, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
@@ -127,7 +132,8 @@ func runProblem(p gen.Problem, algs []NamedAlgorithm) (ProblemResult, error) {
 			Envelope:  s.Esize,
 			Bandwidth: s.Bandwidth,
 			Seconds:   elapsed,
-			MatVecs:   matvecs,
+			MatVecs:   solve.MatVecs,
+			Workers:   solve.Workers,
 		})
 	}
 	rank(res.Rows)
@@ -179,10 +185,10 @@ func WriteTable(w io.Writer, title string, results []ProblemResult) error {
 	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
 		return err
 	}
-	line := strings.Repeat("-", 78)
+	line := strings.Repeat("-", 82)
 	fmt.Fprintln(w, line)
-	fmt.Fprintf(w, "%-12s %14s %10s %10s  %-9s %4s %8s\n",
-		"Title", "Envelope", "Bandwidth", "Run time", "Algorithm", "Rank", "MatVecs")
+	fmt.Fprintf(w, "%-12s %14s %10s %10s  %-9s %4s %8s %7s\n",
+		"Title", "Envelope", "Bandwidth", "Run time", "Algorithm", "Rank", "MatVecs", "Workers")
 	fmt.Fprintf(w, "%-12s %14s %10s %10s\n", "(equations)", "", "", "(sec)")
 	fmt.Fprintf(w, "%-12s\n", "(nonzeros)")
 	fmt.Fprintln(w, line)
@@ -198,8 +204,8 @@ func WriteTable(w io.Writer, title string, results []ProblemResult) error {
 			if i < len(hdr) {
 				h = hdr[i]
 			}
-			fmt.Fprintf(w, "%-12s %14d %10d %10.2f  %-9s %4d %8d\n",
-				h, row.Envelope, row.Bandwidth, row.Seconds, row.Algorithm, row.Rank, row.MatVecs)
+			fmt.Fprintf(w, "%-12s %14d %10d %10.2f  %-9s %4d %8d %7d\n",
+				h, row.Envelope, row.Bandwidth, row.Seconds, row.Algorithm, row.Rank, row.MatVecs, row.Workers)
 		}
 		fmt.Fprintln(w, line)
 	}

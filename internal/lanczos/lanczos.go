@@ -9,13 +9,34 @@
 // unconditional robustness. For graphs too large for that trade the
 // multilevel driver in internal/multilevel calls this only at the coarsest
 // level, exactly as the paper prescribes.
+//
+// # Engine layout
+//
+// The hot loop is a BLAS-2 engine over a contiguous Krylov basis: the k
+// basis vectors live in one row-major backing array (row j = vector q_j),
+// and full reorthogonalization runs as one blocked-MGS kernel per step
+// (linalg.OrthoMGS): basis rows are processed four at a time, each block's
+// coefficients computed against the already-updated candidate and removed
+// while the block is hot in cache — the numerical behavior of the old
+// one-vector-at-a-time modified Gram–Schmidt loop at a quarter of its
+// memory traffic. A classical-GS refinement pass (linalg.GemvT +
+// linalg.GemvSub) fires under a Parlett–Kahan-style "twice is enough"
+// cancellation test near breakdown. The matvec itself fuses the three-term
+// recurrence when the operator implements linalg.AxpyApplier (the
+// Laplacian operators do): w = A·q_k − β·q_{k−1} in a single pass.
+//
+// All per-solve state lives in a reusable Work workspace (single backing
+// array for the basis, α/β coefficient buffers reused ring-style across
+// restart cycles, workspace-threaded Ritz extraction), so steady-state
+// solves via FiedlerWS run with zero allocations — pinned by an
+// AllocsPerRun gate and the BenchmarkLanczosWS CI gate.
 package lanczos
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -55,20 +76,86 @@ type Result struct {
 // "iterative in nature" trade-off).
 var ErrNotConverged = errors.New("lanczos: not converged")
 
+// Work is the reusable Lanczos workspace: the contiguous row-major Krylov
+// basis, the candidate/iterate/residual vectors, the Gram–Schmidt
+// coefficient buffer, the α/β tridiagonal entries (reused across restart
+// cycles) and the Ritz-extraction scratch. The zero value is ready; buffers
+// grow on demand and are retained, so a Work reused across solves of the
+// same size allocates nothing (see TestFiedlerWSZeroAlloc). A Work is not
+// safe for concurrent use.
+type Work struct {
+	q      []float64 // row-major basis: row j is q[j*n : (j+1)*n]
+	w      []float64 // candidate vector being orthogonalized
+	x      []float64 // current iterate: restart start, then Ritz vector
+	r      []float64 // residual of the restart convergence check
+	c      []float64 // Gram–Schmidt coefficients / tridiagonal eigenvector
+	alphas []float64
+	betas  []float64
+	td     linalg.TridiagWork
+}
+
+func (wk *Work) bind(n, m int) {
+	wk.q = linalg.Grow(wk.q, m*n)
+	wk.w = linalg.Grow(wk.w, n)
+	wk.x = linalg.Grow(wk.x, n)
+	wk.r = linalg.Grow(wk.r, n)
+	wk.c = linalg.Grow(wk.c, m)
+	wk.alphas = linalg.Grow(wk.alphas, m)
+	wk.betas = linalg.Grow(wk.betas, m)
+}
+
+var workPool = sync.Pool{New: func() any { return new(Work) }}
+
+// fillStart writes a deterministic pseudo-random start vector derived from
+// seed — a splitmix64 stream mapped to [−0.5, 0.5). Any generic direction
+// works as a Lanczos start; an inline generator keeps the zero-allocation
+// contract that rand.New would break.
+func fillStart(x []float64, seed int64) {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	for i := range x {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		x[i] = float64(z>>11)/(1<<53) - 0.5
+	}
+}
+
 // Fiedler computes the smallest eigenpair of A restricted to the complement
 // of the constant vector. For a connected-graph Laplacian this is (λ2, x2).
 //
 // A must be symmetric positive semidefinite with the constant vector in its
 // null space (a Laplacian); scale is an upper bound on its largest
 // eigenvalue used for the relative convergence test (pass the Gershgorin
-// bound).
+// bound). The workspace is drawn from an internal pool; callers that solve
+// repeatedly and want the zero-allocation path use FiedlerWS.
 func Fiedler(A linalg.Operator, scale float64, opt Options) (Result, error) {
 	n := A.Dim()
 	if n == 0 {
 		return Result{}, errors.New("lanczos: empty operator")
 	}
+	wk := workPool.Get().(*Work)
+	defer workPool.Put(wk)
+	res, err := FiedlerWS(wk, A, scale, opt, make([]float64, n))
+	return res, err
+}
+
+// FiedlerWS is Fiedler with a caller-provided workspace and output vector.
+// out must have length A.Dim(); on return Result.Vector aliases out. With a
+// warm Work of matching size the whole solve performs zero allocations —
+// the contract the BenchmarkLanczosWS CI gate pins.
+func FiedlerWS(wk *Work, A linalg.Operator, scale float64, opt Options, out []float64) (Result, error) {
+	n := A.Dim()
+	if n == 0 {
+		return Result{}, errors.New("lanczos: empty operator")
+	}
+	if len(out) != n {
+		return Result{}, fmt.Errorf("lanczos: out has length %d, want %d", len(out), n)
+	}
 	if n == 1 {
-		return Result{Lambda: 0, Vector: []float64{1}}, nil
+		out[0] = 1
+		return Result{Lambda: 0, Vector: out}, nil
 	}
 	if opt.Tol == 0 {
 		opt.Tol = 1e-8
@@ -89,49 +176,46 @@ func Fiedler(A linalg.Operator, scale float64, opt Options) (Result, error) {
 		scale = 1
 	}
 
-	rng := rand.New(rand.NewSource(opt.Seed*2654435761 + 12345))
-	start := make([]float64, n)
-	for i := range start {
-		start[i] = rng.NormFloat64()
-	}
+	wk.bind(n, opt.MaxBasis)
+	fillStart(wk.x, opt.Seed)
 
 	var res Result
 	tol := opt.Tol * scale
-	x := start
-	var r []float64
 	for cycle := 0; cycle < opt.MaxRestarts; cycle++ {
-		lambda, vec, mv, err := cycleLanczos(A, x, opt.MaxBasis)
+		lambda, mv, err := wk.cycle(A, opt.MaxBasis)
 		res.MatVecs += mv
 		res.Restarts = cycle + 1
 		if err != nil {
 			return res, err
 		}
-		// Residual check; the residual vector is reused across restarts.
-		r = linalg.Grow(r, n)
-		A.Apply(vec, r)
+		// Residual check: r = A·x − λ·x and its norm in one fused pass. The
+		// Ritz vector in wk.x doubles as the next restart's start.
+		A.Apply(wk.x, wk.r)
 		res.MatVecs++
-		linalg.Axpy(-lambda, vec, r)
 		res.Lambda = lambda
-		res.Vector = vec
-		res.Residual = linalg.Nrm2(r)
+		res.Residual = linalg.AxpyNrm2(-lambda, wk.x, wk.r)
+		copy(out, wk.x)
+		res.Vector = out
 		if res.Residual <= tol {
 			return res, nil
 		}
-		// Restart from the best Ritz vector.
-		x = vec
 	}
 	return res, fmt.Errorf("%w after %d restarts (residual %.3e, tol %.3e)",
 		ErrNotConverged, opt.MaxRestarts, res.Residual, tol)
 }
 
-// cycleLanczos runs one Lanczos cycle with full reorthogonalization against
-// both the constant vector and the accumulated basis, then extracts the
-// smallest Ritz pair.
-func cycleLanczos(A linalg.Operator, start []float64, maxBasis int) (lambda float64, vec []float64, matvecs int, err error) {
+// cycle runs one Lanczos restart cycle: build a fully-reorthogonalized
+// Krylov basis from the start vector in wk.x, then overwrite wk.x with the
+// smallest Ritz vector. The basis is grown in the contiguous wk.q array;
+// reorthogonalization is blocked CGS with a conditional second pass.
+func (wk *Work) cycle(A linalg.Operator, maxBasis int) (lambda float64, matvecs int, err error) {
 	n := A.Dim()
+	q, w, c := wk.q, wk.w, wk.c
+	fused, hasFused := A.(linalg.AxpyApplier)
 
-	// q0 = start, projected off the constant vector and normalized.
-	v := append([]float64(nil), start...)
+	// Row 0: the start vector, deflated and normalized.
+	v := q[:n]
+	copy(v, wk.x)
 	linalg.ProjectOutOnes(v)
 	if linalg.Normalize(v) == 0 {
 		// Degenerate start (constant); use an alternating vector.
@@ -142,47 +226,68 @@ func cycleLanczos(A linalg.Operator, start []float64, maxBasis int) (lambda floa
 		linalg.Normalize(v)
 	}
 
-	basis := make([][]float64, 0, maxBasis)
-	var alphas, betas []float64
-	w := make([]float64, n)
 	beta := 0.0
+	m := 0
 	for k := 0; k < maxBasis; k++ {
-		basis = append(basis, v)
-		A.Apply(v, w)
+		m = k + 1
+		qk := q[k*n : (k+1)*n]
+		// w = A·q_k − β·q_{k−1}, fused into the matvec when the operator
+		// supports it (the Laplacian operators do).
+		if k > 0 && hasFused {
+			fused.ApplyAxpy(qk, w, beta, q[(k-1)*n:k*n])
+		} else {
+			A.Apply(qk, w)
+			if k > 0 {
+				linalg.Axpy(-beta, q[(k-1)*n:k*n], w)
+			}
+		}
 		matvecs++
-		if k > 0 {
-			linalg.Axpy(-beta, basis[k-1], w)
-		}
-		alpha := linalg.Dot(v, w)
-		linalg.Axpy(-alpha, v, w)
-		alphas = append(alphas, alpha)
-		// Full reorthogonalization: against ones and the whole basis.
+		// The recurrence coefficient α = q_kᵀw is read off before any other
+		// projection (the raw tridiagonal entry), then the whole basis —
+		// row k included, cleaning α's roundoff remainder — is removed by
+		// one blocked-MGS pass: block-sequential updates for the stability
+		// of the classic per-vector loop, four rows per memory pass for the
+		// BLAS-2 traffic.
+		alpha := linalg.Dot(qk, w)
+		linalg.Axpy(-alpha, qk, w)
 		linalg.ProjectOutOnes(w)
-		for _, q := range basis {
-			linalg.OrthogonalizeAgainst(w, q)
-		}
+		csq := linalg.OrthoMGS(w, q, m, n, c) + alpha*alpha
 		beta = linalg.Nrm2(w)
+		// "Twice is enough" safety net: ‖w before‖² ≈ β² + Σc² by
+		// Pythagoras, so no extra pass is needed to detect cancellation.
+		// The MGS pass already has the per-vector loop's stability, so the
+		// refinement only needs to fire on severe cancellation (η = 1e-4,
+		// near-breakdown), where the remainder is roundoff-dominated under
+		// ANY one-pass scheme — not at the classical 1/√2 that would
+		// trigger on nearly every Laplacian step.
+		const eta = 1e-4
+		if beta*beta < eta*eta*(beta*beta+csq) {
+			linalg.GemvT(c, q, m, n, w)
+			alpha += c[k]
+			linalg.GemvSub(w, q, m, n, c)
+			linalg.ProjectOutOnes(w)
+			beta = linalg.Nrm2(w)
+		}
+		wk.alphas[k] = alpha
 		if beta < 1e-12*(1+math.Abs(alpha)) || k == maxBasis-1 {
 			break
 		}
-		betas = append(betas, beta)
-		next := make([]float64, n)
-		copy(next, w)
-		linalg.Scal(1/beta, next)
-		v = next
+		wk.betas[k] = beta
+		// Next basis row: w/β.
+		next := q[(k+1)*n : (k+2)*n]
+		inv := 1 / beta
+		for i, wi := range w {
+			next[i] = wi * inv
+		}
 	}
 
-	m := len(alphas)
-	eig, Z, terr := linalg.TridiagEig(alphas, betas[:m-1], true)
+	lambda, terr := linalg.TridiagSmallestWS(wk.alphas[:m], wk.betas[:m-1], c[:m], &wk.td)
 	if terr != nil {
-		return 0, nil, matvecs, terr
+		return 0, matvecs, terr
 	}
-	lambda = eig[0]
-	vec = make([]float64, n)
-	for j := 0; j < m; j++ {
-		linalg.Axpy(Z.At(j, 0), basis[j], vec)
-	}
-	linalg.ProjectOutOnes(vec)
-	linalg.Normalize(vec)
-	return lambda, vec, matvecs, nil
+	// Assemble the Ritz vector x = Σ c[j]·q_j in place of the iterate.
+	linalg.Gemv(wk.x, q, m, n, c)
+	linalg.ProjectOutOnes(wk.x)
+	linalg.Normalize(wk.x)
+	return lambda, matvecs, nil
 }

@@ -42,9 +42,37 @@ func (o *Op) Dim() int { return o.G.N() }
 
 // Apply computes y = L·x with y[v] = deg(v)·x[v] − Σ_{w∼v} x[w].
 func (o *Op) Apply(x, y []float64) {
+	o.applyRange(x, y, 0, o.G.N())
+}
+
+// ApplyAxpy computes y = L·x − beta·qprev in one pass over the rows — the
+// fused three-term-recurrence matvec of linalg.AxpyApplier that saves the
+// Lanczos engine a separate Axpy sweep over y.
+func (o *Op) ApplyAxpy(x, y []float64, beta float64, qprev []float64) {
+	o.applyAxpyRange(x, y, beta, qprev, 0, o.G.N())
+}
+
+// Workers reports the serial operator's single row block.
+func (o *Op) Workers() int { return 1 }
+
+// applyRange computes rows lo:hi of y = L·x — the block kernel ParallelOp
+// distributes across its workers.
+func (o *Op) applyRange(x, y []float64, lo, hi int) {
 	g := o.G
-	for v := 0; v < g.N(); v++ {
+	for v := lo; v < hi; v++ {
 		s := o.deg[v] * x[v]
+		for _, w := range g.Neighbors(v) {
+			s -= x[w]
+		}
+		y[v] = s
+	}
+}
+
+// applyAxpyRange computes rows lo:hi of y = L·x − beta·qprev.
+func (o *Op) applyAxpyRange(x, y []float64, beta float64, qprev []float64, lo, hi int) {
+	g := o.G
+	for v := lo; v < hi; v++ {
+		s := o.deg[v]*x[v] - beta*qprev[v]
 		for _, w := range g.Neighbors(v) {
 			s -= x[w]
 		}

@@ -60,6 +60,22 @@ func (o *Weighted) Apply(x, y []float64) {
 	}
 }
 
+// ApplyAxpy computes y = L_w·x − beta·qprev in one pass (linalg.AxpyApplier).
+func (o *Weighted) ApplyAxpy(x, y []float64, beta float64, qprev []float64) {
+	g := o.G
+	for v := 0; v < g.N(); v++ {
+		s := o.wdeg[v]*x[v] - beta*qprev[v]
+		base := g.Xadj[v]
+		for i, u := range g.Neighbors(v) {
+			s -= o.w[int(base)+i] * x[u]
+		}
+		y[v] = s
+	}
+}
+
+// Workers reports the weighted operator's single row block.
+func (o *Weighted) Workers() int { return 1 }
+
 // RayleighQuotient returns xᵀL_w x / xᵀx via the weighted edge form.
 func (o *Weighted) RayleighQuotient(x []float64) float64 {
 	g := o.G

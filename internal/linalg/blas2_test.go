@@ -1,0 +1,248 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveGemvT/naiveGemvSub are the one-row-at-a-time references the blocked
+// kernels must reproduce exactly (same per-row reduction order).
+func naiveGemvT(c, q []float64, k, n int, w []float64) {
+	for j := 0; j < k; j++ {
+		c[j] = Dot(q[j*n:(j+1)*n], w)
+	}
+}
+
+func TestGemvTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
+		n := 57
+		q := make([]float64, k*n)
+		w := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		got := make([]float64, k)
+		want := make([]float64, k)
+		GemvT(got, q, k, n, w)
+		naiveGemvT(want, q, k, n, w)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("k=%d: GemvT[%d] = %v, want %v", k, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestGemvSubRemovesProjections(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{1, 3, 4, 6, 8, 13} {
+		n := 64
+		// Orthonormalize k random rows so GemvT after GemvSub must be ~0.
+		q := make([]float64, k*n)
+		for j := 0; j < k; j++ {
+			row := q[j*n : (j+1)*n]
+			for i := range row {
+				row[i] = rng.NormFloat64()
+			}
+			for l := 0; l < j; l++ {
+				OrthogonalizeAgainst(row, q[l*n:(l+1)*n])
+			}
+			Normalize(row)
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		c := make([]float64, k)
+		GemvT(c, q, k, n, w)
+		GemvSub(w, q, k, n, c)
+		GemvT(c, q, k, n, w)
+		for j, cj := range c {
+			if math.Abs(cj) > 1e-12 {
+				t.Fatalf("k=%d: residual projection c[%d] = %v after GemvSub", k, j, cj)
+			}
+		}
+	}
+}
+
+func TestOrthoMGSOrthogonalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, k := range []int{1, 2, 4, 5, 8, 11, 16} {
+		n := 73
+		q := make([]float64, k*n)
+		for j := 0; j < k; j++ {
+			row := q[j*n : (j+1)*n]
+			for i := range row {
+				row[i] = rng.NormFloat64()
+			}
+			for l := 0; l < j; l++ {
+				OrthogonalizeAgainst(row, q[l*n:(l+1)*n])
+			}
+			Normalize(row)
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		before := Nrm2(w)
+		c := make([]float64, k)
+		csq := OrthoMGS(w, q, k, n, c)
+		// Residual projections vanish, and Pythagoras reconstructs ‖w‖².
+		check := make([]float64, k)
+		GemvT(check, q, k, n, w)
+		for j, cj := range check {
+			if math.Abs(cj) > 1e-12 {
+				t.Fatalf("k=%d: residual projection c[%d] = %v after OrthoMGS", k, j, cj)
+			}
+		}
+		after := Nrm2(w)
+		if got := math.Sqrt(after*after + csq); math.Abs(got-before) > 1e-10*(1+before) {
+			t.Fatalf("k=%d: Pythagoras off: √(β²+Σc²) = %v, ‖w before‖ = %v", k, got, before)
+		}
+	}
+}
+
+func TestGemvAssemblesCombination(t *testing.T) {
+	n, k := 41, 6
+	rng := rand.New(rand.NewSource(3))
+	q := make([]float64, k*n)
+	c := make([]float64, k)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	for j := range c {
+		c[j] = rng.NormFloat64()
+	}
+	cOrig := append([]float64(nil), c...)
+	out := make([]float64, n)
+	Gemv(out, q, k, n, c)
+	want := make([]float64, n)
+	for j := 0; j < k; j++ {
+		Axpy(cOrig[j], q[j*n:(j+1)*n], want)
+	}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-13 {
+			t.Fatalf("Gemv[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	// The documented contract: c is read-only.
+	for j := range c {
+		if c[j] != cOrig[j] {
+			t.Fatalf("Gemv modified c[%d]: %v -> %v", j, cOrig[j], c[j])
+		}
+	}
+}
+
+func TestDotAxpyFusion(t *testing.T) {
+	n := 77
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	zRef := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		z[i] = rng.NormFloat64()
+		zRef[i] = z[i]
+	}
+	got := DotAxpy(-0.7, x, y, z)
+	Axpy(-0.7, x, zRef)
+	want := Dot(y, zRef)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DotAxpy = %v, want %v", got, want)
+	}
+	for i := range z {
+		if z[i] != zRef[i] {
+			t.Fatalf("DotAxpy z[%d] = %v, want %v", i, z[i], zRef[i])
+		}
+	}
+}
+
+func TestAxpyNrm2Fusion(t *testing.T) {
+	n := 63
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	yRef := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+		yRef[i] = y[i]
+	}
+	got := AxpyNrm2(1.3, x, y)
+	Axpy(1.3, x, yRef)
+	want := Nrm2(yRef)
+	if math.Abs(got-want) > 1e-12*(1+want) {
+		t.Fatalf("AxpyNrm2 = %v, want %v", got, want)
+	}
+	for i := range y {
+		if y[i] != yRef[i] {
+			t.Fatalf("AxpyNrm2 y[%d] = %v, want %v", i, y[i], yRef[i])
+		}
+	}
+}
+
+func TestTridiagSmallestWSMatchesTridiagEig(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	work := new(TridiagWork)
+	for _, n := range []int{1, 2, 3, 5, 12, 40} {
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64() * 3
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64()
+		}
+		eig, Z, err := TridiagEig(d, e, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, n)
+		lam, err := TridiagSmallestWS(d, e, y, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lam-eig[0]) > 1e-12*(1+math.Abs(eig[0])) {
+			t.Fatalf("n=%d: smallest %v, want %v", n, lam, eig[0])
+		}
+		// Compare eigenvectors up to sign.
+		var dot float64
+		for i := 0; i < n; i++ {
+			dot += y[i] * Z.At(i, 0)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-10 {
+			t.Fatalf("n=%d: eigenvector misaligned, |<y,z>| = %v", n, math.Abs(dot))
+		}
+	}
+}
+
+func TestTridiagSmallestWSZeroAlloc(t *testing.T) {
+	n := 60
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = float64(2 + i%3)
+	}
+	for i := range e {
+		e[i] = -1
+	}
+	y := make([]float64, n)
+	work := new(TridiagWork)
+	if _, err := TridiagSmallestWS(d, e, y, work); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := TridiagSmallestWS(d, e, y, work); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TridiagSmallestWS allocated %v times, want 0", allocs)
+	}
+}

@@ -12,6 +12,18 @@ type Operator interface {
 	Apply(x, y []float64)
 }
 
+// AxpyApplier is an Operator whose matvec can fuse the Lanczos three-term
+// recurrence: ApplyAxpy computes y = A·x − beta·z in one streaming pass,
+// saving the separate Axpy sweep over y. The Laplacian operators implement
+// it; iterative solvers type-assert for it and fall back to Apply+Axpy.
+type AxpyApplier interface {
+	Operator
+	// ApplyAxpy computes y = A·x − beta·z. x, y and z have length Dim();
+	// y aliases neither input, while z may alias x (the shifted-operator
+	// case y = A·x − σ·x).
+	ApplyAxpy(x, y []float64, beta float64, z []float64)
+}
+
 // OpFunc adapts a function to the Operator interface.
 type OpFunc struct {
 	N int
@@ -32,6 +44,14 @@ type ShiftedOp struct {
 func (s ShiftedOp) Dim() int { return s.A.Dim() }
 
 func (s ShiftedOp) Apply(x, y []float64) {
+	if s.Sigma != 0 {
+		// Fuse the shift into the matvec pass when the wrapped operator
+		// supports it — every MINRES iteration inside RQI hits this path.
+		if ap, ok := s.A.(AxpyApplier); ok {
+			ap.ApplyAxpy(x, y, s.Sigma, x)
+			return
+		}
+	}
 	s.A.Apply(x, y)
 	if s.Sigma != 0 {
 		Axpy(-s.Sigma, x, y)
@@ -129,17 +149,21 @@ func MINRESWS(A Operator, b []float64, x []float64, opt MINRESOptions, work *MIN
 	betaOld := 0.0
 
 	for k := 1; k <= opt.MaxIter; k++ {
-		// Lanczos step: w = A v - beta_{k-1} v_{k-1}; alpha = vᵀw.
+		// Lanczos step: w = A v - beta_{k-1} v_{k-1}; alpha = vᵀw. The
+		// recurrence subtraction fuses with the alpha reduction (DotAxpy)
+		// and the alpha subtraction with the norm (AxpyNrm2) — two memory
+		// passes over w instead of four.
 		A.Apply(v, w)
 		if opt.ProjectOnes {
 			ProjectOutOnes(w)
 		}
+		var alpha float64
 		if betaOld != 0 {
-			Axpy(-betaOld, vOld, w)
+			alpha = DotAxpy(-betaOld, vOld, v, w)
+		} else {
+			alpha = Dot(v, w)
 		}
-		alpha := Dot(v, w)
-		Axpy(-alpha, v, w)
-		betaNew := Nrm2(w)
+		betaNew := AxpyNrm2(-alpha, v, w)
 
 		// Apply the two previous rotations to the new column (betaOld, alpha, betaNew).
 		rho1 := sPrev2 * betaOld            // first super-diagonal effect

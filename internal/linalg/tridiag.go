@@ -5,34 +5,18 @@ import (
 	"math"
 )
 
-// TridiagEig computes all eigenvalues and (optionally) eigenvectors of a
-// symmetric tridiagonal matrix with diagonal d (length n) and off-diagonal
-// e (length n-1, e[i] couples rows i and i+1). It is the implicit-shift QL
-// algorithm with Wilkinson shifts — a transcription of the classic EISPACK
-// tql2/imtql2 routine — and is what turns the Lanczos tridiagonal into Ritz
-// values and vectors.
+// tql2 is the implicit-shift QL iteration with Wilkinson shifts — a
+// transcription of the classic EISPACK tql2/imtql2 routine — shared by
+// TridiagEig and TridiagSmallestWS so the delicate numerics (the split
+// test, the underflow deflation, the rotation accumulation) live in
+// exactly one place.
 //
-// On return, eigenvalues are ascending in eig. If wantV, Z is the n×n
-// matrix whose column k (Z.At(i,k)) holds eigenvector k of T; otherwise Z
-// is nil. The inputs are not modified.
-func TridiagEig(d, e []float64, wantV bool) (eig []float64, Z *Dense, err error) {
-	n := len(d)
-	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
-		return nil, nil, fmt.Errorf("linalg: tridiag size mismatch: |d|=%d |e|=%d", n, len(e))
-	}
-	if n == 0 {
-		return nil, nil, nil
-	}
-	dd := append([]float64(nil), d...)
-	// ee is padded to length n with a trailing zero, per EISPACK convention.
-	ee := make([]float64, n)
-	copy(ee, e)
-	if wantV {
-		Z = NewDense(n)
-		for i := 0; i < n; i++ {
-			Z.Set(i, i, 1)
-		}
-	}
+// On entry dd (length n) and ee (length n, ee[n-1] ignored and used as
+// workspace) hold the diagonal and off-diagonal; both are overwritten —
+// dd with the (unsorted) eigenvalues. When z is non-nil it must be a flat
+// row-major n×n identity on entry (z[i*n+k] = Z[i][k]) and accumulates the
+// eigenvector columns: column k of z is the eigenvector of dd[k].
+func tql2(dd, ee []float64, z []float64, n int) error {
 	const maxIter = 50
 	for l := 0; l < n; l++ {
 		for iter := 0; ; iter++ {
@@ -48,7 +32,7 @@ func TridiagEig(d, e []float64, wantV bool) (eig []float64, Z *Dense, err error)
 				break
 			}
 			if iter >= maxIter {
-				return nil, nil, fmt.Errorf("linalg: tridiag QL failed to converge at row %d", l)
+				return fmt.Errorf("linalg: tridiag QL failed to converge at row %d", l)
 			}
 			// Wilkinson shift.
 			g := (dd[l+1] - dd[l]) / (2 * ee[l])
@@ -80,11 +64,11 @@ func TridiagEig(d, e []float64, wantV bool) (eig []float64, Z *Dense, err error)
 				p = s * r
 				dd[i+1] = g + p
 				g = c*r - b
-				if wantV {
+				if z != nil {
 					for k := 0; k < n; k++ {
-						f := Z.At(k, i+1)
-						Z.Set(k, i+1, s*Z.At(k, i)+c*f)
-						Z.Set(k, i, c*Z.At(k, i)-s*f)
+						f := z[k*n+i+1]
+						z[k*n+i+1] = s*z[k*n+i] + c*f
+						z[k*n+i] = c*z[k*n+i] - s*f
 					}
 				}
 			}
@@ -95,6 +79,39 @@ func TridiagEig(d, e []float64, wantV bool) (eig []float64, Z *Dense, err error)
 			ee[l] = g
 			ee[m] = 0
 		}
+	}
+	return nil
+}
+
+// TridiagEig computes all eigenvalues and (optionally) eigenvectors of a
+// symmetric tridiagonal matrix with diagonal d (length n) and off-diagonal
+// e (length n-1, e[i] couples rows i and i+1), via the shared tql2 QL
+// iteration.
+//
+// On return, eigenvalues are ascending in eig. If wantV, Z is the n×n
+// matrix whose column k (Z.At(i,k)) holds eigenvector k of T; otherwise Z
+// is nil. The inputs are not modified.
+func TridiagEig(d, e []float64, wantV bool) (eig []float64, Z *Dense, err error) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
+		return nil, nil, fmt.Errorf("linalg: tridiag size mismatch: |d|=%d |e|=%d", n, len(e))
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+	dd := append([]float64(nil), d...)
+	// ee is padded to length n with a trailing zero, per EISPACK convention.
+	ee := make([]float64, n)
+	copy(ee, e)
+	var z []float64
+	if wantV {
+		z = make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			z[i*n+i] = 1
+		}
+	}
+	if err := tql2(dd, ee, z, n); err != nil {
+		return nil, nil, err
 	}
 	// Sort eigenvalues ascending, permuting eigenvector columns alongside.
 	idx := make([]int, n)
@@ -113,13 +130,65 @@ func TridiagEig(d, e []float64, wantV bool) (eig []float64, Z *Dense, err error)
 		eig[k] = dd[src]
 	}
 	if wantV {
-		sorted := NewDense(n)
+		Z = NewDense(n)
 		for k, src := range idx {
 			for i := 0; i < n; i++ {
-				sorted.Set(i, k, Z.At(i, src))
+				Z.Set(i, k, z[i*n+src])
 			}
 		}
-		Z = sorted
 	}
 	return eig, Z, nil
+}
+
+// TridiagWork holds the reusable buffers of TridiagSmallestWS: the working
+// copies of the diagonal and off-diagonal and the flat row-major rotation
+// accumulator. The zero value is ready; buffers grow on demand via Grow, so
+// a retained TridiagWork serves repeated Ritz extractions allocation-free.
+type TridiagWork struct {
+	dd, ee, z []float64
+}
+
+// TridiagSmallestWS computes the smallest eigenvalue of the symmetric
+// tridiagonal matrix (d, e) and writes its unit eigenvector into y (length
+// len(d)), reusing work's buffers. It runs the same tql2 QL iteration as
+// TridiagEig but skips the full sort-and-copy of all eigenvector columns:
+// only the argmin column is extracted. This is the per-cycle Ritz
+// extraction of the Lanczos engine, which needs exactly one eigenpair of a
+// basis-sized (≤ MaxBasis) tridiagonal per restart.
+func TridiagSmallestWS(d, e []float64, y []float64, work *TridiagWork) (float64, error) {
+	n := len(d)
+	if len(e) != n-1 {
+		return 0, fmt.Errorf("linalg: tridiag size mismatch: |d|=%d |e|=%d", n, len(e))
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("linalg: empty tridiagonal")
+	}
+	if n == 1 {
+		y[0] = 1
+		return d[0], nil
+	}
+	work.dd = Grow(work.dd, n)
+	work.ee = Grow(work.ee, n)
+	work.z = Grow(work.z, n*n)
+	dd, ee, z := work.dd, work.ee, work.z
+	copy(dd, d)
+	copy(ee, e)
+	ee[n-1] = 0
+	Fill(z, 0)
+	for i := 0; i < n; i++ {
+		z[i*n+i] = 1
+	}
+	if err := tql2(dd, ee, z, n); err != nil {
+		return 0, err
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if dd[i] < dd[best] {
+			best = i
+		}
+	}
+	for i := 0; i < n; i++ {
+		y[i] = z[i*n+best]
+	}
+	return dd[best], nil
 }

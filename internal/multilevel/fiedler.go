@@ -26,6 +26,12 @@ type Options struct {
 	Lanczos lanczos.Options
 	// Seed drives the randomized maximal independent sets.
 	Seed int64
+	// FinestOp, when non-nil, is a pre-built Laplacian operator of the
+	// input graph, used for the finest-level smoothing/RQI sweeps (and the
+	// direct solve when no coarsening happens) instead of constructing one.
+	// The pipeline's artifact cache threads the component's shared operator
+	// — with its persistent-pool worker partition — through here.
+	FinestOp laplacian.Interface
 }
 
 func (o *Options) setDefaults() {
@@ -67,6 +73,9 @@ type Result struct {
 	RQIIterations int
 	// JacobiSweeps is the total smoothing sweep count across all levels.
 	JacobiSweeps int
+	// Workers is the row-block fan-out of the finest-level Laplacian matvec
+	// (1 = serial operator).
+	Workers int
 	// Converged reports whether the solve met its tolerances: the
 	// coarsest-level eigensolve converged AND, when a hierarchy was built,
 	// the finest-level residual is within the RQI tolerance. When false the
@@ -121,7 +130,12 @@ func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, erro
 	// Solve the coarsest level with Lanczos.
 	coarsest := levels[len(levels)-1]
 	res := Result{Levels: len(levels), CoarsestN: coarsest.N()}
-	op := laplacian.AutoFrom(coarsest, ws.Float64s(coarsest.N()))
+	var op laplacian.Interface
+	if len(levels) == 1 && opt.FinestOp != nil {
+		op = opt.FinestOp
+	} else {
+		op = laplacian.AutoFrom(coarsest, ws.Float64s(coarsest.N()))
+	}
 	lres, err := lanczos.Fiedler(op, op.GershgorinBound(), opt.Lanczos)
 	res.MatVecs += lres.MatVecs
 	if err != nil && lres.Vector == nil {
@@ -144,7 +158,12 @@ func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, erro
 		x = fx
 		linalg.ProjectOutOnes(x)
 		linalg.Normalize(x)
-		fineOp := laplacian.AutoFrom(fineG, ws.Float64s(fineG.N()))
+		var fineOp laplacian.Interface
+		if li == 0 && opt.FinestOp != nil {
+			fineOp = opt.FinestOp
+		} else {
+			fineOp = laplacian.AutoFrom(fineG, ws.Float64s(fineG.N()))
+		}
 		res.MatVecs += JacobiSmoothWS(ws, fineG, fineOp, x, opt.SmoothSteps)
 		res.JacobiSweeps += opt.SmoothSteps
 		rr := rqiRefine(ws, fineOp, x, opt.RQI, shifted)
@@ -156,6 +175,7 @@ func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, erro
 	res.Lambda = finestOp.RayleighQuotient(x)
 	res.Residual = rayleighResidual(ws, finestOp, x)
 	res.MatVecs++
+	res.Workers = finestOp.Workers()
 	if len(contractions) > 0 {
 		// The refinement is only converged if the finest residual met the
 		// RQI target — the same test rqiRefine applies per level — so the

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/laplacian"
 	"repro/internal/perm"
 	"repro/internal/scratch"
 	"repro/internal/solver"
@@ -25,6 +26,9 @@ import (
 type Artifacts struct {
 	g   *graph.Graph
 	opt core.Options
+
+	opOnce sync.Once
+	op     laplacian.Interface
 
 	fiedlerOnce  sync.Once
 	fiedlerDone  bool
@@ -49,13 +53,30 @@ func newArtifacts(g *graph.Graph, opt core.Options) *Artifacts {
 	return &Artifacts{g: g, opt: opt}
 }
 
+// Operator returns the component's memoized Laplacian operator —
+// heap-backed (never workspace-backed), parallelized by the laplacian auto
+// heuristics, its worker partition computed once. The instance supports
+// one matvec at a time (see ParallelOp), which holds today because the
+// only consumer is the Fiedler solve serialized under fiedlerOnce; a
+// future candidate that runs its own matvecs concurrently must wrap the
+// component in its own ParallelOp instead of borrowing this one.
+func (a *Artifacts) Operator() laplacian.Interface {
+	a.opOnce.Do(func() {
+		a.op = laplacian.Auto(a.g)
+	})
+	return a.op
+}
+
 // Fiedler returns the component's memoized Fiedler vector and solver
 // statistics, computing them on first call (ws is used only for that
 // computation's scratch). Both spectral portfolio candidates call this, so
-// the component pays for exactly one eigensolve.
+// the component pays for exactly one eigensolve, run against the shared
+// component operator.
 func (a *Artifacts) Fiedler(ws *scratch.Workspace) ([]float64, solver.Stats, error) {
 	a.fiedlerOnce.Do(func() {
-		a.fiedlerVec, a.fiedlerStats, a.fiedlerErr = core.FiedlerConnectedWS(ws, a.g, a.opt)
+		opt := a.opt
+		opt.Operator = a.Operator()
+		a.fiedlerVec, a.fiedlerStats, a.fiedlerErr = core.FiedlerConnectedWS(ws, a.g, opt)
 		a.fiedlerDone = true
 	})
 	return a.fiedlerVec, a.fiedlerStats, a.fiedlerErr

@@ -235,3 +235,25 @@ func TestArtifactsMemoization(t *testing.T) {
 		t.Fatal("Spectral artifact recomputed on second access")
 	}
 }
+
+// TestArtifactsOperatorShared pins the per-component operator artifact: one
+// Laplacian operator (with its worker partition) is built per component and
+// every access — including the Fiedler solve — sees the same instance.
+func TestArtifactsOperatorShared(t *testing.T) {
+	g := graph.Grid(20, 15)
+	art := newArtifacts(g, core.Options{Seed: 3})
+	op1 := art.Operator()
+	if op1 == nil || op1.Dim() != g.N() {
+		t.Fatalf("Operator artifact wrong: %v", op1)
+	}
+	if op2 := art.Operator(); op2 != op1 {
+		t.Fatal("Operator artifact rebuilt on second access")
+	}
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	if _, st, err := art.Fiedler(ws); err != nil {
+		t.Fatal(err)
+	} else if st.Workers != op1.Workers() {
+		t.Fatalf("Fiedler solve reports %d workers, shared operator has %d", st.Workers, op1.Workers())
+	}
+}

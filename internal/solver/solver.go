@@ -53,19 +53,27 @@ type Stats struct {
 	// CoarsestN is the vertex count of the coarsest hierarchy level (the
 	// input size for direct solves).
 	CoarsestN int `json:"coarsest_n"`
+	// Workers is the number of row blocks the Laplacian matvec ran across
+	// (1 = serial operator). For the multilevel scheme it reports the
+	// finest-level operator; aggregations keep the maximum across solves.
+	Workers int `json:"workers,omitempty"`
 	// Converged reports whether the solve met its tolerance; false comes
 	// with a usable partial vector and a Residual quantifying the miss.
 	Converged bool `json:"converged"`
 }
 
 // AddCounters sums only another solve's work counters into s (MatVecs,
-// RQIIterations, JacobiSweeps), leaving the spectral estimates and
-// Converged untouched. It is the single place the counter field list
-// lives; every aggregator goes through it.
+// RQIIterations, JacobiSweeps) and keeps the wider of the two Workers
+// fan-outs, leaving the spectral estimates and Converged untouched. It is
+// the single place the counter field list lives; every aggregator goes
+// through it.
 func (s *Stats) AddCounters(o Stats) {
 	s.MatVecs += o.MatVecs
 	s.RQIIterations += o.RQIIterations
 	s.JacobiSweeps += o.JacobiSweeps
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
 }
 
 // Accumulate folds another solve into s: counters summed (AddCounters) and
@@ -94,6 +102,11 @@ type Solver interface {
 // whole graph, restarted from the best Ritz vector.
 type Lanczos struct {
 	Opt lanczos.Options
+	// Op, when non-nil, is a pre-built Laplacian operator of the graph
+	// passed to Solve — the pipeline's artifact cache shares one (with its
+	// worker partition) across a component's candidates. Nil builds one per
+	// solve, parallelized above the laplacian auto thresholds.
+	Op laplacian.Interface
 }
 
 // Name implements Solver.
@@ -102,7 +115,10 @@ func (Lanczos) Name() string { return SchemeLanczos }
 // Solve implements Solver.
 func (s Lanczos) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error) {
 	m := ws.Mark()
-	op := laplacian.AutoFrom(g, ws.Float64s(g.N()))
+	op := s.Op
+	if op == nil {
+		op = laplacian.AutoFrom(g, ws.Float64s(g.N()))
+	}
 	res, err := lanczos.Fiedler(op, op.GershgorinBound(), s.Opt)
 	ws.Release(m)
 	st := Stats{
@@ -112,6 +128,7 @@ func (s Lanczos) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats,
 		MatVecs:   res.MatVecs,
 		Levels:    1,
 		CoarsestN: g.N(),
+		Workers:   op.Workers(),
 		Converged: err == nil,
 	}
 	if err != nil && res.Vector == nil {
@@ -127,6 +144,9 @@ func (s Lanczos) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats,
 // Lanczos, interpolation with Jacobi smoothing and RQI refinement.
 type Multilevel struct {
 	Opt multilevel.Options
+	// Op, when non-nil, is a pre-built Laplacian operator of the finest
+	// graph, shared with the refinement sweeps there (see Lanczos.Op).
+	Op laplacian.Interface
 }
 
 // Name implements Solver.
@@ -134,7 +154,11 @@ func (Multilevel) Name() string { return SchemeMultilevel }
 
 // Solve implements Solver.
 func (s Multilevel) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error) {
-	res, err := multilevel.FiedlerWS(ws, g, s.Opt)
+	opt := s.Opt
+	if opt.FinestOp == nil {
+		opt.FinestOp = s.Op
+	}
+	res, err := multilevel.FiedlerWS(ws, g, opt)
 	st := Stats{
 		Scheme:        SchemeMultilevel,
 		Lambda:        res.Lambda,
@@ -144,6 +168,7 @@ func (s Multilevel) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Sta
 		JacobiSweeps:  res.JacobiSweeps,
 		Levels:        res.Levels,
 		CoarsestN:     res.CoarsestN,
+		Workers:       res.Workers,
 		Converged:     res.Converged,
 	}
 	if err != nil {
@@ -195,6 +220,7 @@ func (s RQI) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, err
 	m := ws.Mark()
 	defer ws.Release(m)
 	op := laplacian.AutoFrom(g, ws.Float64s(n))
+	st.Workers = op.Workers()
 	if s.Start == nil {
 		steps := s.SmoothSteps
 		if steps == 0 {
