@@ -1,6 +1,7 @@
 package envred
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/chol"
@@ -84,8 +85,23 @@ var (
 
 // Spectral computes the paper's Algorithm 1: sort the Fiedler vector in
 // both directions and keep the permutation with the smaller envelope.
+//
+// It is a thin shim over the lazily-initialized DefaultSession (byte-
+// identical output); context-first callers use Session.Order / Session.Do
+// with the SPECTRAL algorithm instead.
 func Spectral(g *Graph, opt SpectralOptions) (Perm, SpectralInfo, error) {
-	return core.Spectral(g, opt)
+	res, err := DefaultSession().do(context.Background(), g, AlgSpectral, OrderRequest{Seed: opt.Seed, Spectral: opt}, false)
+	return res.Perm, infoOf(res), err
+}
+
+// infoOf unpacks the spectral diagnostics of a Result for the historical
+// (Perm, SpectralInfo, error) return shape — populated even on error, as
+// core reports the work a failed solve burned.
+func infoOf(res Result) SpectralInfo {
+	if res.Info != nil {
+		return *res.Info
+	}
+	return SpectralInfo{}
 }
 
 // SpectralSloan runs the spectral ordering followed by Sloan-style local
@@ -93,7 +109,8 @@ func Spectral(g *Graph, opt SpectralOptions) (Perm, SpectralInfo, error) {
 // hybrid the paper's §4 proposes as future work). Never worse in envelope
 // than Spectral.
 func SpectralSloan(g *Graph, opt SpectralOptions) (Perm, SpectralInfo, error) {
-	return core.SpectralSloan(g, opt)
+	res, err := DefaultSession().do(context.Background(), g, AlgSpectralSloan, OrderRequest{Seed: opt.Seed, Spectral: opt}, false)
+	return res.Perm, infoOf(res), err
 }
 
 // WeightedSpectral is Algorithm 1 on the weighted Laplacian D_w − W with
@@ -101,7 +118,9 @@ func SpectralSloan(g *Graph, opt SpectralOptions) (Perm, SpectralInfo, error) {
 // strongly coupled rows are placed adjacently. The weight function must be
 // symmetric and positive on edges.
 func WeightedSpectral(g *Graph, weight func(u, v int) float64, opt SpectralOptions) (Perm, SpectralInfo, error) {
-	return core.WeightedSpectral(g, weight, opt)
+	res, err := DefaultSession().do(context.Background(), g, AlgWeighted,
+		OrderRequest{Seed: opt.Seed, Spectral: opt, Weight: weight}, false)
+	return res.Perm, infoOf(res), err
 }
 
 // Classical orderings benchmarked by the paper, plus King and Sloan.
@@ -127,7 +146,9 @@ type AutoOptions = pipeline.Options
 // parameters of the stitched ordering.
 type AutoReport = pipeline.Report
 
-// Canonical algorithm names for AutoOptions.Portfolio.
+// Canonical names of the built-in ordering algorithms — valid in
+// AutoOptions.Portfolio and Session.Order (the registry accepts any
+// case). Algorithms() lists these plus user registrations.
 const (
 	AlgRCM           = pipeline.AlgRCM
 	AlgCM            = pipeline.AlgCM
@@ -137,6 +158,7 @@ const (
 	AlgSloan         = pipeline.AlgSloan
 	AlgSpectral      = pipeline.AlgSpectral
 	AlgSpectralSloan = pipeline.AlgSpectralSloan
+	AlgWeighted      = pipeline.AlgWeighted
 )
 
 // DefaultPortfolio returns the default Auto contender set.
@@ -147,14 +169,25 @@ func DefaultPortfolio() []string { return pipeline.DefaultPortfolio() }
 // candidate with the smallest envelope per component (ties: bandwidth, then
 // work), and stitches the winners into one global permutation. The result
 // is deterministic for a fixed seed regardless of AutoOptions.Parallelism,
-// unless a Budget is set: budget expiry skips candidates by wall clock, so
-// budgeted runs trade determinism for latency (the first portfolio entry
-// always runs, so the result stays valid).
+// unless a Budget is set: budget expiry skips unstarted candidates and
+// cancels in-flight ones by wall clock, so budgeted runs trade determinism
+// for latency (the first portfolio entry always runs to completion, so the
+// result stays valid).
+//
 // Prefer Auto over Spectral when the input may be disconnected, when no
 // single algorithm is known to dominate on the workload, or when spare
 // cores are available to hide the portfolio's cost.
+//
+// Auto is a thin shim over the lazily-initialized DefaultSession (byte-
+// identical output, plus the session's cross-call artifact cache);
+// context-first callers use Session.Auto / Session.AutoWith.
 func Auto(g *Graph, opt AutoOptions) (Perm, AutoReport, error) {
-	return pipeline.Auto(g, opt)
+	res, err := DefaultSession().AutoWith(opt.Context, g, opt)
+	rep := AutoReport{}
+	if res.Report != nil {
+		rep = *res.Report
+	}
+	return res.Perm, rep, err
 }
 
 // Identity returns the identity ordering (the matrix as given).
@@ -164,9 +197,13 @@ func Identity(n int) Perm { return perm.Identity(n) }
 func RandomPerm(n int, seed int64) Perm { return perm.Random(n, seed) }
 
 // Fiedler computes the Fiedler vector and value (λ2) of a connected graph
-// using the solver selected by opt (Lanczos or multilevel).
+// using the solver selected by opt (Lanczos or multilevel). It is a shim
+// over the DefaultSession: repeated calls on the same graph are served
+// from the session's artifact cache. Context-first callers use
+// Session.Fiedler.
 func Fiedler(g *Graph, opt SpectralOptions) (vec []float64, lambda2 float64, err error) {
-	return core.FiedlerVector(g, opt)
+	x, st, err := DefaultSession().fiedler(context.Background(), g, opt)
+	return x, st.Lambda, err
 }
 
 // MultilevelOptions configures the §3 multilevel eigensolver when used

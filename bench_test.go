@@ -65,11 +65,11 @@ func benchTableCell(b *testing.B, problem string, alg string) {
 	var last perm.Perm
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		o, _, err := f(p.G)
+		r, err := f(p.G)
 		if err != nil {
 			b.Fatal(err)
 		}
-		last = o
+		last = r.Perm
 	}
 	b.StopTimer()
 	s := envelope.Compute(p.G, last)
@@ -117,10 +117,11 @@ func BenchmarkTable44(b *testing.B) {
 						f = a.F
 					}
 				}
-				o, _, err := f(p.G)
+				r, err := f(p.G)
 				if err != nil {
 					b.Fatal(err)
 				}
+				o := r.Perm
 				vals := chol.LaplacianPlusIdentity(p.G)
 				var flops int64
 				var esize int64
@@ -292,11 +293,11 @@ func BenchmarkAutoPortfolio(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				best := int64(-1)
 				for _, alg := range harness.Algorithms(benchSeed) {
-					o, _, err := alg.F(p.G)
+					r, err := alg.F(p.G)
 					if err != nil {
 						b.Fatal(err)
 					}
-					if e := envred.Esize(p.G, o); best < 0 || e < best {
+					if e := envred.Esize(p.G, r.Perm); best < 0 || e < best {
 						best = e
 					}
 				}

@@ -9,12 +9,15 @@
 //	-grid WxH       a W×H 5-point grid
 //
 // The ordering algorithm is selected with -method (or its alias -alg):
-// auto, spectral, hybrid, rcm, cm, gps, gk, king, sloan, identity, random.
-// Method auto races the whole portfolio on every connected component across
-// -parallel workers and keeps the per-component winner (optionally capped
-// by -budget); the per-component winners are reported. The permutation is
-// printed to -out (one 0-based original index per line, new order top to
-// bottom).
+// auto, identity, random, or any name in the ordering-service registry
+// (rcm, cm, gps, gk, king, sloan, spectral, spectral+sloan, weighted, plus
+// user registrations; hybrid aliases spectral+sloan; names are
+// case-insensitive — see -list). Method auto races a portfolio on every
+// connected component across -parallel workers and keeps the per-component
+// winner (optionally capped by -budget); -portfolio picks the contenders
+// (comma-separated registry names, default the built-in portfolio). The
+// permutation is printed to -out (one 0-based original index per line, new
+// order top to bottom).
 //
 // With -stats json the text report is replaced by a machine-readable JSON
 // document carrying the envelope parameters, the eigensolver statistics
@@ -25,12 +28,14 @@
 //
 //	envorder -problem BARTH4 -method spectral -scale 0.5
 //	envorder -mm matrix.mtx -method auto -parallel 8
+//	envorder -mm matrix.mtx -method auto -portfolio rcm,sloan,spectral
 //	envorder -mm matrix.mtx -method auto -stats json | jq .portfolio.Solve
 //	envorder -mm matrix.mtx -alg gk -out perm.txt
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,22 +56,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("envorder: ")
 	var (
-		mmFile   = flag.String("mm", "", "Matrix Market input file")
-		hbFile   = flag.String("hb", "", "Harwell-Boeing input file")
-		problem  = flag.String("problem", "", "bundled problem name (see -list)")
-		grid     = flag.String("grid", "", "WxH grid graph, e.g. 100x60")
-		list     = flag.Bool("list", false, "list bundled problems and exit")
-		alg      = flag.String("alg", "", "ordering algorithm (alias of -method)")
-		method   = flag.String("method", "", "ordering algorithm (auto, spectral, hybrid, rcm, cm, gps, gk, king, sloan, identity, random)")
-		parallel = flag.Int("parallel", 0, "worker pool size for -method auto (0 = GOMAXPROCS)")
-		budget   = flag.Duration("budget", 0, "soft time budget for -method auto (0 = unlimited)")
-		scale    = flag.Float64("scale", 1.0, "problem scale for -problem")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("out", "", "write permutation to this file")
-		stats    = flag.String("stats", "", "report format: 'json' replaces the text report with a machine-readable document (envelope parameters, eigensolver statistics, per-candidate portfolio results)")
-		spyFlag  = flag.Bool("spy", false, "print an ASCII spy plot of the reordered matrix")
-		weighted = flag.Bool("weighted", false, "with -mm and -alg spectral: use matrix values as Laplacian weights")
-		bounds   = flag.Bool("bounds", false, "print the Theorem 2.2 envelope lower bound vs the achieved envelope")
+		mmFile    = flag.String("mm", "", "Matrix Market input file")
+		hbFile    = flag.String("hb", "", "Harwell-Boeing input file")
+		problem   = flag.String("problem", "", "bundled problem name (see -list)")
+		grid      = flag.String("grid", "", "WxH grid graph, e.g. 100x60")
+		list      = flag.Bool("list", false, "list registered algorithms and bundled problems, then exit")
+		alg       = flag.String("alg", "", "ordering algorithm (alias of -method)")
+		method    = flag.String("method", "", "ordering algorithm: auto, identity, random, or any registered name (see -list); case-insensitive")
+		portfolio = flag.String("portfolio", "", "comma-separated registry names raced by -method auto (default: the built-in portfolio)")
+		parallel  = flag.Int("parallel", 0, "worker pool size for -method auto (0 = GOMAXPROCS)")
+		budget    = flag.Duration("budget", 0, "soft time budget for -method auto (0 = unlimited)")
+		scale     = flag.Float64("scale", 1.0, "problem scale for -problem")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "write permutation to this file")
+		stats     = flag.String("stats", "", "report format: 'json' replaces the text report with a machine-readable document (envelope parameters, eigensolver statistics, per-candidate portfolio results)")
+		spyFlag   = flag.Bool("spy", false, "print an ASCII spy plot of the reordered matrix")
+		weighted  = flag.Bool("weighted", false, "with -mm and -alg spectral: use matrix values as Laplacian weights")
+		bounds    = flag.Bool("bounds", false, "print the Theorem 2.2 envelope lower bound vs the achieved envelope")
 	)
 	flag.Parse()
 
@@ -78,8 +84,11 @@ func main() {
 	case *alg != "" && !strings.EqualFold(*alg, *method):
 		log.Fatalf("-alg %q conflicts with -method %q; set only one", *alg, *method)
 	}
-	if *weighted && !strings.EqualFold(*method, "spectral") {
-		log.Fatalf("-weighted is only supported with -method spectral (got %q)", *method)
+	if *weighted && !strings.EqualFold(*method, "spectral") && !strings.EqualFold(*method, "weighted") {
+		log.Fatalf("-weighted is only supported with -method spectral/weighted (got %q)", *method)
+	}
+	if *portfolio != "" && !strings.EqualFold(*method, "auto") {
+		log.Fatalf("-portfolio only applies to -method auto (got %q)", *method)
 	}
 	switch {
 	case *stats == "" || strings.EqualFold(*stats, "json"):
@@ -91,6 +100,9 @@ func main() {
 	}
 
 	if *list {
+		fmt.Printf("registered algorithms (usable as -method and in -portfolio):\n")
+		fmt.Printf("  %s\n", strings.Join(envred.Algorithms(), ", "))
+		fmt.Printf("  plus the driver methods: AUTO, IDENTITY, RANDOM (and HYBRID = SPECTRAL+SLOAN)\n\n")
 		fmt.Printf("%-10s %-14s %10s %12s\n", "NAME", "SUITE", "N", "NNZ(lower)")
 		for _, s := range gen.Specs() {
 			fmt.Printf("%-10s %-14s %10d %12d\n", s.Name, s.Suite, s.PaperN, s.PaperNNZ)
@@ -137,14 +149,14 @@ func main() {
 	var p perm.Perm
 	var info *envred.SpectralInfo
 	var report *envred.AutoReport
-	if weight != nil && strings.EqualFold(*method, "spectral") {
+	if weight != nil && (strings.EqualFold(*method, "spectral") || strings.EqualFold(*method, "weighted")) {
 		wp, winfo, err := envred.WeightedSpectral(g, weight, envred.SpectralOptions{Seed: *seed})
 		if err != nil {
 			log.Fatal(err)
 		}
 		p, info = wp, &winfo
 	} else {
-		p, info, report = computeOrdering(g, *method, *seed, *parallel, *budget)
+		p, info, report = computeOrdering(g, *method, *seed, *parallel, *budget, *portfolio)
 	}
 	elapsed := time.Since(start)
 
@@ -240,46 +252,43 @@ func loadGraph(mmFile, problem, grid string, scale float64, seed int64) (*graph.
 	}
 }
 
-func computeOrdering(g *graph.Graph, alg string, seed int64, parallel int, budget time.Duration) (perm.Perm, *envred.SpectralInfo, *envred.AutoReport) {
+// computeOrdering resolves the method against the ordering-service
+// registry through a Session: auto/identity/random are driver specials,
+// hybrid aliases SPECTRAL+SLOAN, and every other name — built-in or
+// user-registered — dispatches via Session.Order. Unknown names list the
+// valid ones.
+func computeOrdering(g *graph.Graph, alg string, seed int64, parallel int, budget time.Duration, portfolio string) (perm.Perm, *envred.SpectralInfo, *envred.AutoReport) {
+	ctx := context.Background()
+	sess := envred.NewSession(envred.SessionOptions{Seed: seed, Parallelism: parallel, Budget: budget})
 	switch strings.ToLower(alg) {
 	case "auto":
-		p, rep, err := envred.Auto(g, envred.AutoOptions{Seed: seed, Parallelism: parallel, Budget: budget})
+		opt := envred.AutoOptions{Seed: seed, Parallelism: parallel, Budget: budget}
+		if portfolio != "" {
+			for _, name := range strings.Split(portfolio, ",") {
+				opt.Portfolio = append(opt.Portfolio, strings.TrimSpace(name))
+			}
+		}
+		res, err := sess.AutoWith(ctx, g, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return p, nil, &rep
-	case "spectral":
-		p, info, err := envred.Spectral(g, envred.SpectralOptions{Seed: seed})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return p, &info, nil
+		return res.Perm, nil, res.Report
 	case "hybrid", "spectral-sloan":
-		p, info, err := envred.SpectralSloan(g, envred.SpectralOptions{Seed: seed})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return p, &info, nil
-	case "rcm":
-		return envred.RCM(g), nil, nil
-	case "cm":
-		return envred.CuthillMcKee(g), nil, nil
-	case "gps":
-		return envred.GPS(g), nil, nil
-	case "gk":
-		return envred.GK(g), nil, nil
-	case "king":
-		return envred.King(g), nil, nil
-	case "sloan":
-		return envred.Sloan(g), nil, nil
+		alg = envred.AlgSpectralSloan
 	case "identity":
 		return perm.Identity(g.N()), nil, nil
 	case "random":
 		return perm.Random(g.N(), seed), nil, nil
-	default:
-		log.Fatalf("unknown algorithm %q", alg)
-		return nil, nil, nil
 	}
+	if _, ok := envred.Lookup(alg); !ok {
+		log.Fatalf("unknown algorithm %q (registered: %s; driver methods: auto, identity, random, hybrid)",
+			alg, strings.Join(envred.Algorithms(), ", "))
+	}
+	res, err := sess.Order(ctx, g, alg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Perm, res.Info, nil
 }
 
 // runStats is the -stats json document: one self-contained record per run,

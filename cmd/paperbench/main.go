@@ -10,7 +10,10 @@
 // -auto appends an AUTO row to the ordering-comparison tables (4.1–4.3):
 // the parallel portfolio engine racing all contenders per connected
 // component on -parallel workers. Table 4.4 (factorization times) is
-// unaffected.
+// unaffected. All rows run through the harness's shared ordering Session
+// with cross-call caching disabled, so every row's time reflects its
+// algorithm's full cost (AUTO still shares one eigensolve among its own
+// candidates within a run).
 //
 // With -outdir the tables are also written to table4_*.txt and the figures
 // to fig4_*.pgm / fig4_*.txt (ASCII); otherwise everything prints to
@@ -144,19 +147,19 @@ func runFigures(outdir string, scale float64, seed int64, size int) {
 	ords := make(map[string]perm.Perm, 5)
 	ords["fig4_1_original"] = perm.Identity(g.N())
 	for _, alg := range harness.Algorithms(seed) {
-		o, _, err := alg.F(g)
+		r, err := alg.F(g)
 		if err != nil {
 			log.Fatalf("figures: %s: %v", alg.Name, err)
 		}
 		switch alg.Name {
 		case harness.AlgGPS:
-			ords["fig4_2_gps"] = o
+			ords["fig4_2_gps"] = r.Perm
 		case harness.AlgGK:
-			ords["fig4_3_gk"] = o
+			ords["fig4_3_gk"] = r.Perm
 		case harness.AlgRCM:
-			ords["fig4_4_rcm"] = o
+			ords["fig4_4_rcm"] = r.Perm
 		case harness.AlgSpectral:
-			ords["fig4_5_spectral"] = o
+			ords["fig4_5_spectral"] = r.Perm
 		}
 	}
 

@@ -29,9 +29,14 @@
 //     size and topology class,
 //   - a parallel portfolio ordering engine (Auto) that decomposes the
 //     graph into connected components, races a configurable portfolio of
-//     the above algorithms per component on a bounded worker pool, keeps
+//     registered algorithms per component on a bounded worker pool, keeps
 //     the smallest-envelope candidate per component and stitches the
-//     winners into one deterministic global permutation.
+//     winners into one deterministic global permutation,
+//   - a context-first ordering service: a pluggable Orderer registry
+//     (Register, Lookup, Algorithms) that every built-in self-registers
+//     into and user algorithms join at runtime, and a reusable,
+//     goroutine-safe Session that owns per-graph artifact caches and the
+//     scratch/solver/SpMV worker pools across calls.
 //
 // # Quick start
 //
@@ -40,6 +45,39 @@
 //	if err != nil { ... }
 //	s := envred.Stats(g, p)
 //	fmt.Println(s.Esize, s.Bandwidth, info.Lambda2)
+//
+// # The ordering service: Session and the Orderer registry
+//
+// The service surface is a Session — long-lived, goroutine-safe, context-
+// first. It owns a per-graph artifact cache (component decomposition,
+// extracted subgraphs, Fiedler eigensolves, peripheral roots and pseudo-
+// diameter pairs; LRU-bounded by SessionOptions.CacheGraphs), so repeated
+// calls on the same graph pay for the expensive precomputations once:
+//
+//	sess := envred.NewSession(envred.SessionOptions{Seed: 1})
+//	res, err := sess.Order(ctx, g, envred.AlgSpectral)  // any registered name
+//	res, err = sess.Auto(ctx, g)                        // portfolio race
+//	x, solve, err := sess.Fiedler(ctx, g)               // cached eigensolve
+//
+// Every method returns the uniform Result{Perm, Stats, Solve, Info,
+// Algorithm, Elapsed, Report}. Cancelling ctx (or exceeding an Auto
+// Budget) interrupts in-flight eigensolves at restart / V-cycle
+// granularity and returns the typed *ErrCancelled carrying the best-so-far
+// fallback eigenpair.
+//
+// Algorithms are pluggable: anything implementing Orderer can Register
+// under a name, becoming callable via Session.Order and raceable in Auto
+// portfolios with full access to the per-component artifact cache
+// (OrderRequest.Artifacts) — see examples/customorderer for a user
+// algorithm that outbids the built-ins on the components it specializes
+// in. The built-ins (RCM, CM, GPS, GK, KING, SLOAN, SPECTRAL,
+// SPECTRAL+SLOAN, WEIGHTED) self-register at init; Algorithms() lists the
+// current set.
+//
+// The historical one-shot functions (Spectral, SpectralSloan,
+// WeightedSpectral, Auto, Fiedler, RCM, ...) remain as thin shims over a
+// lazily-initialized DefaultSession and stay byte-identical to their
+// pre-Session outputs (pinned by the shim-equivalence golden test).
 //
 // # Choosing an ordering
 //
@@ -67,9 +105,11 @@
 // # Solver architecture
 //
 // Every Fiedler computation goes through the unified engine in
-// internal/solver: a Solver interface (Solve(ws, g) → vector, SolveStats,
-// error) implemented by the direct Lanczos solver, the §3 multilevel
-// scheme and standalone RQI. SpectralOptions.Method picks the scheme
+// internal/solver: a Solver interface (Solve(ctx, ws, g) → vector,
+// SolveStats, error) implemented by the direct Lanczos solver, the §3
+// multilevel scheme and standalone RQI, with the context checked in the
+// restart and V-cycle loops so cancellation and budgets interrupt real
+// work. SpectralOptions.Method picks the scheme
 // (MethodAuto crosses from Lanczos to multilevel above
 // SpectralOptions.AutoThreshold, default 2000 vertices), and every layer
 // reports the same SolveStats record: SpectralInfo.Solve for the ordering

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -38,13 +39,18 @@ func main() {
 	}
 	g := b.Build()
 
-	p, rep, err := envred.Auto(g, envred.AutoOptions{
+	// The contenders come from the ordering-service registry; a Session
+	// races them and keeps the per-graph artifacts warm across calls.
+	fmt.Printf("registered algorithms: %v\n\n", envred.Algorithms())
+	sess := envred.NewSession(envred.SessionOptions{
 		Seed:        1993,
 		Parallelism: runtime.GOMAXPROCS(0),
 	})
+	res, err := sess.Auto(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
+	p, rep := res.Perm, *res.Report
 
 	fmt.Printf("ordered %d vertices / %d components on %d workers in %.3fs\n",
 		g.N(), len(rep.Components), rep.Parallelism, rep.Seconds)

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -171,13 +172,15 @@ func SetEigensolveTestHook(f func(n int)) (restore func()) {
 func Spectral(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 	ws := scratch.Get()
 	defer scratch.Put(ws)
-	return SpectralWS(ws, g, opt)
+	return SpectralWS(context.Background(), ws, g, opt)
 }
 
-// SpectralWS is Spectral with caller-provided scratch: the envelope
-// comparisons and subgraph extractions reuse ws buffers, which the parallel
-// pipeline checks out once per worker.
-func SpectralWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, Info, error) {
+// SpectralWS is Spectral with caller-provided scratch and cancellation: the
+// envelope comparisons and subgraph extractions reuse ws buffers, which the
+// parallel pipeline checks out once per worker, and ctx interrupts in-flight
+// eigensolves at restart / V-cycle granularity (the typed
+// *lanczos.ErrCancelled propagates with the best-so-far fallback inside).
+func SpectralWS(ctx context.Context, ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 	n := g.N()
 	info := Info{}
 	if n == 0 {
@@ -185,7 +188,7 @@ func SpectralWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, 
 	}
 	if graph.IsConnected(g) {
 		info.Components = 1
-		o, err := spectralConnected(ws, g, opt, &info, true)
+		o, err := spectralConnected(ctx, ws, g, opt, &info, true)
 		return o, info, err
 	}
 	comps := graph.Components(g)
@@ -197,7 +200,7 @@ func SpectralWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, 
 	var sub graph.Graph
 	for ci, comp := range comps {
 		g.SubgraphInto(ws, &sub, comp)
-		local, err := spectralConnected(ws, &sub, opt, &info, ci == 0)
+		local, err := spectralConnected(ctx, ws, &sub, opt, &info, ci == 0)
 		if err != nil {
 			return nil, info, fmt.Errorf("core: component %d: %w", ci, err)
 		}
@@ -214,7 +217,7 @@ func SpectralWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, 
 func FiedlerVector(g *graph.Graph, opt Options) ([]float64, float64, error) {
 	ws := scratch.Get()
 	defer scratch.Put(ws)
-	x, st, err := FiedlerConnectedWS(ws, g, opt)
+	x, st, err := FiedlerConnectedWS(context.Background(), ws, g, opt)
 	return x, st.Lambda, err
 }
 
@@ -224,12 +227,12 @@ func FiedlerVector(g *graph.Graph, opt Options) ([]float64, float64, error) {
 // pipeline's per-component artifact cache all funnel through it (and
 // through the eigensolve test hook). The returned vector is freshly
 // allocated and safe to retain; ws is used only for scratch.
-func FiedlerConnectedWS(ws *scratch.Workspace, g *graph.Graph, opt Options) ([]float64, solver.Stats, error) {
+func FiedlerConnectedWS(ctx context.Context, ws *scratch.Workspace, g *graph.Graph, opt Options) ([]float64, solver.Stats, error) {
 	n := g.N()
 	if testHookEigensolve != nil {
 		testHookEigensolve(n)
 	}
-	return opt.Solver(n).Solve(ws, g)
+	return opt.Solver(n).Solve(ctx, ws, g)
 }
 
 // OrderFiedler is Algorithm 1 step 3 on a precomputed Fiedler vector of the
@@ -247,12 +250,12 @@ func OrderFiedler(ws *scratch.Workspace, g *graph.Graph, x []float64) (o perm.Pe
 	return asc, fwd, false
 }
 
-func spectralConnected(ws *scratch.Workspace, g *graph.Graph, opt Options, info *Info, record bool) (perm.Perm, error) {
+func spectralConnected(ctx context.Context, ws *scratch.Workspace, g *graph.Graph, opt Options, info *Info, record bool) (perm.Perm, error) {
 	n := g.N()
 	if n == 1 {
 		return perm.Perm{0}, nil
 	}
-	x, st, err := FiedlerConnectedWS(ws, g, opt)
+	x, st, err := FiedlerConnectedWS(ctx, ws, g, opt)
 	if err != nil {
 		// The failed solve's work still counts toward the run's totals (a
 		// caller diagnosing the failure sees what it burned); estimates are
@@ -291,7 +294,7 @@ func OrderByValues(x []float64) perm.Perm {
 func SpectralSloan(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 	ws := scratch.Get()
 	defer scratch.Put(ws)
-	return SpectralSloanWS(ws, g, opt)
+	return SpectralSloanWS(context.Background(), ws, g, opt)
 }
 
 // SpectralSloanWS is SpectralSloan with caller-provided scratch.
@@ -302,8 +305,8 @@ func SpectralSloan(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 // ordering — rather than re-running the eigensolver per component. Errors
 // from the single spectral pass propagate; the refinement itself cannot
 // fail (a component that Sloan cannot improve keeps its spectral slice).
-func SpectralSloanWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, Info, error) {
-	spectral, info, err := SpectralWS(ws, g, opt)
+func SpectralSloanWS(ctx context.Context, ws *scratch.Workspace, g *graph.Graph, opt Options) (perm.Perm, Info, error) {
+	spectral, info, err := SpectralWS(ctx, ws, g, opt)
 	if err != nil {
 		return nil, info, err
 	}

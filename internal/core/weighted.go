@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -21,7 +22,7 @@ import (
 // The weighted solve always uses Lanczos (the multilevel hierarchy in this
 // repository is pattern-only); for very large weighted problems expect
 // longer solve times than Spectral.
-func WeightedSpectral(g *graph.Graph, weight func(u, v int) float64, opt Options) (perm.Perm, Info, error) {
+func WeightedSpectral(ctx context.Context, g *graph.Graph, weight func(u, v int) float64, opt Options) (perm.Perm, Info, error) {
 	n := g.N()
 	info := Info{}
 	if n == 0 {
@@ -29,7 +30,7 @@ func WeightedSpectral(g *graph.Graph, weight func(u, v int) float64, opt Options
 	}
 	if graph.IsConnected(g) {
 		info.Components = 1
-		o, err := weightedConnected(g, weight, opt, &info, true)
+		o, err := weightedConnected(ctx, g, weight, opt, &info, true)
 		return o, info, err
 	}
 	comps := graph.Components(g)
@@ -38,7 +39,7 @@ func WeightedSpectral(g *graph.Graph, weight func(u, v int) float64, opt Options
 	for ci, comp := range comps {
 		sub, old := g.Subgraph(comp)
 		subWeight := func(u, v int) float64 { return weight(old[u], old[v]) }
-		local, err := weightedConnected(sub, subWeight, opt, &info, ci == 0)
+		local, err := weightedConnected(ctx, sub, subWeight, opt, &info, ci == 0)
 		if err != nil {
 			return nil, info, fmt.Errorf("core: component %d: %w", ci, err)
 		}
@@ -49,7 +50,7 @@ func WeightedSpectral(g *graph.Graph, weight func(u, v int) float64, opt Options
 	return out, info, nil
 }
 
-func weightedConnected(g *graph.Graph, weight func(u, v int) float64, opt Options, info *Info, record bool) (perm.Perm, error) {
+func weightedConnected(ctx context.Context, g *graph.Graph, weight func(u, v int) float64, opt Options, info *Info, record bool) (perm.Perm, error) {
 	n := g.N()
 	if n == 1 {
 		return perm.Perm{0}, nil
@@ -62,7 +63,7 @@ func weightedConnected(g *graph.Graph, weight func(u, v int) float64, opt Option
 	if lOpt.Seed == 0 {
 		lOpt.Seed = opt.Seed
 	}
-	res, err := lanczos.Fiedler(op, op.GershgorinBound(), lOpt)
+	res, err := lanczos.Fiedler(ctx, op, op.GershgorinBound(), lOpt)
 	st := solver.Stats{
 		Scheme:    solver.SchemeLanczos,
 		Lambda:    res.Lambda,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func unit(u, v int) float64 { return 1 }
 
 func TestWeightedUnitMatchesUnweighted(t *testing.T) {
 	g := graph.Random(60, 110, 3)
-	pw, infoW, err := WeightedSpectral(g, unit, Options{Seed: 4})
+	pw, infoW, err := WeightedSpectral(context.Background(), g, unit, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestWeightedSpectralValid(t *testing.T) {
 	}
 	w := func(u, v int) float64 { return 1 + 0.1*float64((u+v)%5) }
 	for name, g := range graphs {
-		p, _, err := WeightedSpectral(g, w, Options{Seed: 1})
+		p, _, err := WeightedSpectral(context.Background(), g, w, Options{Seed: 1})
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -60,7 +61,7 @@ func TestWeightedSpectralValid(t *testing.T) {
 func TestWeightedSpectralRejectsNonPositive(t *testing.T) {
 	g := graph.Path(4)
 	bad := func(u, v int) float64 { return -1 }
-	if _, _, err := WeightedSpectral(g, bad, Options{}); err == nil {
+	if _, _, err := WeightedSpectral(context.Background(), g, bad, Options{}); err == nil {
 		t.Fatal("negative weights accepted")
 	}
 }
@@ -92,7 +93,7 @@ func TestWeightedSpectralBarbell(t *testing.T) {
 		}
 		return 0.1 // weak bridge
 	}
-	p, _, err := WeightedSpectral(g, w, Options{Seed: 2})
+	p, _, err := WeightedSpectral(context.Background(), g, w, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestWeightedGershgorin(t *testing.T) {
 func TestWeightedSpectralEnvelopeNotWorseThanRandom(t *testing.T) {
 	g := graph.Grid9(12, 12)
 	w := func(u, v int) float64 { return 1 + float64(u%3) }
-	p, _, err := WeightedSpectral(g, w, Options{Seed: 3})
+	p, _, err := WeightedSpectral(context.Background(), g, w, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,23 +6,25 @@
 // Table 4.4, and can append an AUTO row — the parallel portfolio engine of
 // internal/pipeline — to every comparison (RunProblemPortfolio,
 // RunSuitePortfolio).
+//
+// All algorithm rows run through one reusable envred.Session per table,
+// with the contenders resolved from the ordering-service registry. The
+// session's cross-call artifact cache is disabled: the tables compare
+// algorithm costs, so every row pays its own decomposition and eigensolve.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"time"
 
+	envred "repro"
 	"repro/internal/chol"
-	"repro/internal/core"
-	"repro/internal/envelope"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/order"
-	"repro/internal/perm"
-	"repro/internal/pipeline"
 	"repro/internal/solver"
 )
 
@@ -35,10 +37,13 @@ const (
 	AlgAuto     = "AUTO"
 )
 
-// OrderFunc computes an ordering of a graph and reports the uniform
-// eigensolver statistics of the run (the zero Stats for the combinatorial
-// orderings) — the per-row MatVecs and Workers columns of the suite tables.
-type OrderFunc func(*graph.Graph) (perm.Perm, solver.Stats, error)
+// OrderFunc computes an ordering of a graph, reported as the ordering
+// service's uniform Result: the permutation, its envelope parameters,
+// the eigensolver statistics (zero for the combinatorial orderings) and
+// the ordering's own wall-clock time. The tables read Seconds off
+// Result.Elapsed, which times the algorithm alone — scoring and
+// validation stay out of the published timings.
+type OrderFunc func(*graph.Graph) (envred.Result, error)
 
 // NamedAlgorithm pairs a table label with its ordering function.
 type NamedAlgorithm struct {
@@ -46,32 +51,47 @@ type NamedAlgorithm struct {
 	F    OrderFunc
 }
 
-// Algorithms returns the paper's four contenders in table order. seed
-// drives the spectral solver's randomness.
+// Algorithms returns the paper's four contenders in table order, each a
+// registry-resolved Session.Order call on a shared Session. seed drives
+// the spectral solver's randomness. The Session's artifact cache is
+// disabled: every row must pay its algorithm's full cost, or the tables'
+// Seconds column would report warm-cache numbers.
 func Algorithms(seed int64) []NamedAlgorithm {
+	return sessionAlgorithms(envred.NewSession(envred.SessionOptions{Seed: seed, CacheGraphs: -1}))
+}
+
+func sessionAlgorithms(sess *envred.Session) []NamedAlgorithm {
+	mk := func(alg string) OrderFunc {
+		return func(g *graph.Graph) (envred.Result, error) {
+			return sess.Order(context.Background(), g, alg)
+		}
+	}
 	return []NamedAlgorithm{
-		{AlgSpectral, func(g *graph.Graph) (perm.Perm, solver.Stats, error) {
-			p, info, err := core.Spectral(g, core.Options{Seed: seed})
-			return p, info.Solve, err
-		}},
-		{AlgGK, wrap(order.GK)},
-		{AlgGPS, wrap(order.GPS)},
-		{AlgRCM, wrap(order.RCM)},
+		{AlgSpectral, mk(envred.AlgSpectral)},
+		{AlgGK, mk(envred.AlgGK)},
+		{AlgGPS, mk(envred.AlgGPS)},
+		{AlgRCM, mk(envred.AlgRCM)},
 	}
 }
 
-func wrap(f func(*graph.Graph) perm.Perm) OrderFunc {
-	return func(g *graph.Graph) (perm.Perm, solver.Stats, error) { return f(g), solver.Stats{}, nil }
+func statsOf(res envred.Result) solver.Stats {
+	if res.Solve != nil {
+		return *res.Solve
+	}
+	return solver.Stats{}
 }
 
 // PortfolioAlgorithms returns the paper's four contenders plus the AUTO
 // portfolio engine running its default portfolio on parallel workers
 // (≤ 0 means GOMAXPROCS). The AUTO row shows what racing all contenders
-// per component buys over committing to any single one.
+// per component buys over committing to any single one. The shared
+// Session's artifact cache is disabled so each row's Seconds reflects its
+// algorithm's full cost (AUTO still shares one eigensolve among its own
+// candidates within the run — that sharing is the engine, not the cache).
 func PortfolioAlgorithms(seed int64, parallel int) []NamedAlgorithm {
-	return append(Algorithms(seed), NamedAlgorithm{AlgAuto, func(g *graph.Graph) (perm.Perm, solver.Stats, error) {
-		p, rep, err := pipeline.Auto(g, pipeline.Options{Seed: seed, Parallelism: parallel})
-		return p, rep.Solve, err
+	sess := envred.NewSession(envred.SessionOptions{Seed: seed, Parallelism: parallel, CacheGraphs: -1})
+	return append(sessionAlgorithms(sess), NamedAlgorithm{AlgAuto, func(g *graph.Graph) (envred.Result, error) {
+		return sess.Auto(context.Background(), g)
 	}})
 }
 
@@ -116,22 +136,20 @@ func RunProblemPortfolio(p gen.Problem, seed int64, parallel int) (ProblemResult
 func runProblem(p gen.Problem, algs []NamedAlgorithm) (ProblemResult, error) {
 	res := ProblemResult{Problem: p}
 	for _, alg := range algs {
-		start := time.Now()
-		o, solve, err := alg.F(p.G)
-		elapsed := time.Since(start).Seconds()
+		r, err := alg.F(p.G)
 		if err != nil {
 			return res, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
 		}
-		if err := o.Check(); err != nil {
+		if err := r.Perm.Check(); err != nil {
 			return res, fmt.Errorf("harness: %s on %s: invalid ordering: %w", alg.Name, p.Name, err)
 		}
-		s := envelope.Compute(p.G, o)
+		solve := statsOf(r)
 		res.Rows = append(res.Rows, Row{
 			Problem:   p.Name,
 			Algorithm: alg.Name,
-			Envelope:  s.Esize,
-			Bandwidth: s.Bandwidth,
-			Seconds:   elapsed,
+			Envelope:  r.Stats.Esize,
+			Bandwidth: r.Stats.Bandwidth,
+			Seconds:   r.Elapsed.Seconds(),
 			MatVecs:   solve.MatVecs,
 			Workers:   solve.Workers,
 		})
@@ -231,11 +249,11 @@ func RunFactorization(p gen.Problem, seed int64) ([]FactorRow, error) {
 		if alg.Name != AlgSpectral && alg.Name != AlgRCM {
 			continue
 		}
-		o, _, err := alg.F(p.G)
+		r, err := alg.F(p.G)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
 		}
-		m, err := chol.NewMatrix(p.G, o, chol.LaplacianPlusIdentity(p.G))
+		m, err := chol.NewMatrix(p.G, r.Perm, chol.LaplacianPlusIdentity(p.G))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package lanczos
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -149,7 +150,7 @@ func TestBLAS2MatchesReferenceOnPath(t *testing.T) {
 		opt := Options{Tol: 1e-12}
 		want := 4 * math.Pow(math.Sin(math.Pi/(2*float64(n))), 2)
 
-		res, err := Fiedler(op, op.GershgorinBound(), opt)
+		res, err := Fiedler(context.Background(), op, op.GershgorinBound(), opt)
 		if err != nil {
 			t.Fatalf("P%d: new engine: %v", n, err)
 		}
@@ -178,7 +179,7 @@ func TestBLAS2MatchesReferenceRandomSuite(t *testing.T) {
 		op := laplacian.New(g)
 		opt := Options{Tol: 1e-12, Seed: seed}
 
-		res, err := Fiedler(op, op.GershgorinBound(), opt)
+		res, err := Fiedler(context.Background(), op, op.GershgorinBound(), opt)
 		if err != nil {
 			t.Fatalf("seed %d: new engine: %v", seed, err)
 		}
@@ -210,11 +211,11 @@ func TestFiedlerWSZeroAlloc(t *testing.T) {
 	wk := new(Work)
 	out := make([]float64, g.N())
 	// Warm the workspace (first call grows every buffer).
-	if _, err := FiedlerWS(wk, op, scale, Options{}, out); err != nil {
+	if _, err := FiedlerWS(context.Background(), wk, op, scale, Options{}, out); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(5, func() {
-		if _, err := FiedlerWS(wk, op, scale, Options{}, out); err != nil {
+		if _, err := FiedlerWS(context.Background(), wk, op, scale, Options{}, out); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -229,13 +230,13 @@ func TestFiedlerWSMatchesFiedler(t *testing.T) {
 	g := graph.Grid(25, 17)
 	op := laplacian.New(g)
 	scale := op.GershgorinBound()
-	a, err := Fiedler(op, scale, Options{Seed: 3})
+	a, err := Fiedler(context.Background(), op, scale, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	wk := new(Work)
 	out := make([]float64, g.N())
-	b, err := FiedlerWS(wk, op, scale, Options{Seed: 3}, out)
+	b, err := FiedlerWS(context.Background(), wk, op, scale, Options{Seed: 3}, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,13 +259,13 @@ func BenchmarkLanczosWS(b *testing.B) {
 	scale := op.GershgorinBound()
 	wk := new(Work)
 	out := make([]float64, g.N())
-	if _, err := FiedlerWS(wk, op, scale, Options{}, out); err != nil {
+	if _, err := FiedlerWS(context.Background(), wk, op, scale, Options{}, out); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := FiedlerWS(wk, op, scale, Options{}, out); err != nil {
+		if _, err := FiedlerWS(context.Background(), wk, op, scale, Options{}, out); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,106 @@
+package lanczos
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/laplacian"
+	"repro/internal/linalg"
+)
+
+// cancelOp wraps a Laplacian operator and cancels a context after a fixed
+// number of Apply calls — the "hooked operator" used to pin the promise
+// that a cancelled solve returns within one restart iteration.
+type cancelOp struct {
+	laplacian.Interface
+	applies  int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (c *cancelOp) Apply(x, y []float64) {
+	c.applies++
+	if c.applies == c.cancelAt {
+		c.cancel()
+	}
+	c.Interface.Apply(x, y)
+}
+
+// The fused path must count too, or the bound below would be meaningless.
+func (c *cancelOp) ApplyAxpy(x, y []float64, beta float64, z []float64) {
+	c.applies++
+	if c.applies == c.cancelAt {
+		c.cancel()
+	}
+	c.Interface.ApplyAxpy(x, y, beta, z)
+}
+
+var _ linalg.AxpyApplier = (*cancelOp)(nil)
+
+func TestFiedlerCancelledMidSolveReturnsWithinOneRestart(t *testing.T) {
+	g := graph.Grid(30, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	const maxBasis = 24
+	op := &cancelOp{Interface: laplacian.New(g), cancelAt: maxBasis + 5, cancel: cancel}
+	// A tolerance far below reach keeps the solver restarting until the
+	// hook fires.
+	res, err := Fiedler(ctx, op, op.GershgorinBound(), Options{
+		Tol: 1e-300, MaxBasis: maxBasis, MaxRestarts: 1000,
+	})
+	if err == nil {
+		t.Fatal("cancelled solve reported success")
+	}
+	var ce *ErrCancelled
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %v (%T) is not *ErrCancelled", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not unwrap to context.Canceled", err)
+	}
+	// The hook fired during the second restart cycle; the solve must stop
+	// at the next restart boundary — one more basis build plus the
+	// per-cycle residual check, never a third cycle.
+	if limit := op.cancelAt + maxBasis + 2; op.applies > limit {
+		t.Fatalf("solve ran %d applies after cancellation at %d (limit %d) — not within one restart",
+			op.applies, op.cancelAt, limit)
+	}
+	// The first completed restart's Ritz pair is the fallback.
+	if ce.Vector == nil || len(ce.Vector) != g.N() {
+		t.Fatalf("no best-so-far fallback vector carried: %+v", ce)
+	}
+	if ce.Lambda <= 0 {
+		t.Fatalf("fallback lambda %v not a usable λ2 estimate", ce.Lambda)
+	}
+	if res.Vector == nil || res.Restarts == 0 {
+		t.Fatalf("result does not carry the partial solve: %+v", res)
+	}
+}
+
+func TestFiedlerPreCancelledReturnsImmediately(t *testing.T) {
+	g := graph.Path(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	op := laplacian.New(g)
+	_, err := Fiedler(ctx, op, op.GershgorinBound(), Options{})
+	var ce *ErrCancelled
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %v is not *ErrCancelled", err)
+	}
+	if ce.Vector != nil {
+		t.Fatal("pre-cancelled solve claims a fallback vector")
+	}
+}
+
+func TestFiedlerNilContextMeansNoCancellation(t *testing.T) {
+	g := graph.Path(64)
+	op := laplacian.New(g)
+	res, err := Fiedler(nil, op, op.GershgorinBound(), Options{})
+	if err != nil {
+		t.Fatalf("nil-ctx solve failed: %v", err)
+	}
+	if res.Vector == nil {
+		t.Fatal("no vector")
+	}
+}

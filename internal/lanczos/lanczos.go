@@ -33,6 +33,7 @@
 package lanczos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -75,6 +76,37 @@ type Result struct {
 // approximate Fiedler vector still yields a usable ordering (the paper's
 // "iterative in nature" trade-off).
 var ErrNotConverged = errors.New("lanczos: not converged")
+
+// ErrCancelled is the typed error an in-flight eigensolve returns when its
+// context is cancelled (explicit cancellation or a deadline, e.g. the
+// portfolio engine's Budget). It carries the best-so-far fallback eigenpair
+// so callers can still order with an approximate vector instead of losing
+// the work already spent: Vector is nil only when cancellation hit before
+// the first restart cycle produced anything usable. errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded) see
+// through it via Unwrap. The multilevel scheme returns the same type with
+// its partially-refined iterate interpolated up to the finest level.
+type ErrCancelled struct {
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+	// Lambda and Vector are the best-so-far fallback eigenpair available
+	// when cancellation was observed; Vector is nil when nothing usable
+	// existed yet.
+	Lambda float64
+	Vector []float64
+}
+
+func (e *ErrCancelled) Error() string {
+	state := "with a usable fallback eigenpair"
+	if e.Vector == nil {
+		state = "before a usable eigenpair existed"
+	}
+	return fmt.Sprintf("eigensolve cancelled %s: %v", state, e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *ErrCancelled) Unwrap() error { return e.Cause }
 
 // Work is the reusable Lanczos workspace: the contiguous row-major Krylov
 // basis, the candidate/iterate/residual vectors, the Gram–Schmidt
@@ -128,16 +160,19 @@ func fillStart(x []float64, seed int64) {
 // A must be symmetric positive semidefinite with the constant vector in its
 // null space (a Laplacian); scale is an upper bound on its largest
 // eigenvalue used for the relative convergence test (pass the Gershgorin
-// bound). The workspace is drawn from an internal pool; callers that solve
-// repeatedly and want the zero-allocation path use FiedlerWS.
-func Fiedler(A linalg.Operator, scale float64, opt Options) (Result, error) {
+// bound). ctx is checked once per restart cycle: cancellation or deadline
+// expiry interrupts the solve within one restart and returns *ErrCancelled
+// with the best-so-far eigenpair (nil ctx means no cancellation). The
+// workspace is drawn from an internal pool; callers that solve repeatedly
+// and want the zero-allocation path use FiedlerWS.
+func Fiedler(ctx context.Context, A linalg.Operator, scale float64, opt Options) (Result, error) {
 	n := A.Dim()
 	if n == 0 {
 		return Result{}, errors.New("lanczos: empty operator")
 	}
 	wk := workPool.Get().(*Work)
 	defer workPool.Put(wk)
-	res, err := FiedlerWS(wk, A, scale, opt, make([]float64, n))
+	res, err := FiedlerWS(ctx, wk, A, scale, opt, make([]float64, n))
 	return res, err
 }
 
@@ -145,7 +180,7 @@ func Fiedler(A linalg.Operator, scale float64, opt Options) (Result, error) {
 // out must have length A.Dim(); on return Result.Vector aliases out. With a
 // warm Work of matching size the whole solve performs zero allocations —
 // the contract the BenchmarkLanczosWS CI gate pins.
-func FiedlerWS(wk *Work, A linalg.Operator, scale float64, opt Options, out []float64) (Result, error) {
+func FiedlerWS(ctx context.Context, wk *Work, A linalg.Operator, scale float64, opt Options, out []float64) (Result, error) {
 	n := A.Dim()
 	if n == 0 {
 		return Result{}, errors.New("lanczos: empty operator")
@@ -182,6 +217,15 @@ func FiedlerWS(wk *Work, A linalg.Operator, scale float64, opt Options, out []fl
 	var res Result
 	tol := opt.Tol * scale
 	for cycle := 0; cycle < opt.MaxRestarts; cycle++ {
+		// The cancellation check runs once per restart cycle — cheap next to
+		// the ≤ MaxBasis matvecs a cycle costs — so a cancelled or
+		// budget-expired solve returns within one restart iteration with the
+		// best Ritz pair computed so far as the fallback.
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return res, &ErrCancelled{Cause: cerr, Lambda: res.Lambda, Vector: res.Vector}
+			}
+		}
 		lambda, mv, err := wk.cycle(A, opt.MaxBasis)
 		res.MatVecs += mv
 		res.Restarts = cycle + 1

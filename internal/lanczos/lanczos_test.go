@@ -1,6 +1,7 @@
 package lanczos
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -13,7 +14,7 @@ import (
 func fiedlerOf(t *testing.T, g *graph.Graph) Result {
 	t.Helper()
 	op := laplacian.New(g)
-	res, err := Fiedler(op, op.GershgorinBound(), Options{})
+	res, err := Fiedler(context.Background(), op, op.GershgorinBound(), Options{})
 	if err != nil {
 		t.Fatalf("Fiedler: %v", err)
 	}
@@ -116,11 +117,11 @@ func TestPathVectorMonotone(t *testing.T) {
 func TestDeterministicForSeed(t *testing.T) {
 	g := graph.Grid(6, 6)
 	op := laplacian.New(g)
-	a, err := Fiedler(op, op.GershgorinBound(), Options{Seed: 7})
+	a, err := Fiedler(context.Background(), op, op.GershgorinBound(), Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fiedler(op, op.GershgorinBound(), Options{Seed: 7})
+	b, err := Fiedler(context.Background(), op, op.GershgorinBound(), Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestDeterministicForSeed(t *testing.T) {
 func TestTinyGraphs(t *testing.T) {
 	// n=1: λ=0 by convention.
 	op := laplacian.New(graph.NewBuilder(1).Build())
-	res, err := Fiedler(op, 1, Options{})
+	res, err := Fiedler(context.Background(), op, 1, Options{})
 	if err != nil || res.Lambda != 0 {
 		t.Fatalf("n=1: %v %v", res, err)
 	}
@@ -149,7 +150,7 @@ func TestNotConvergedStillUsable(t *testing.T) {
 	// Starve the solver: one restart with a tiny basis on a big slow graph.
 	g := graph.Path(4000)
 	op := laplacian.New(g)
-	res, err := Fiedler(op, op.GershgorinBound(), Options{MaxBasis: 5, MaxRestarts: 1, Tol: 1e-12})
+	res, err := Fiedler(context.Background(), op, op.GershgorinBound(), Options{MaxBasis: 5, MaxRestarts: 1, Tol: 1e-12})
 	if err == nil {
 		t.Skip("unexpectedly converged; nothing to test")
 	}
@@ -175,7 +176,7 @@ func BenchmarkFiedlerGrid(b *testing.B) {
 	op := laplacian.New(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Fiedler(op, op.GershgorinBound(), Options{}); err != nil {
+		if _, err := Fiedler(context.Background(), op, op.GershgorinBound(), Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

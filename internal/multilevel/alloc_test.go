@@ -1,6 +1,7 @@
 package multilevel
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -50,7 +51,7 @@ func (f *refineFixture) refine() {
 	linalg.ProjectOutOnes(f.x)
 	linalg.Normalize(f.x)
 	JacobiSmoothWS(f.ws, f.g, f.op, f.x, 3)
-	rqiRefine(f.ws, f.op, f.x, RQIOptions{MaxIter: 2}, f.shifted)
+	rqiRefine(context.Background(), f.ws, f.op, f.x, RQIOptions{MaxIter: 2}, f.shifted)
 }
 
 // The V-cycle refinement must run with zero steady-state allocations once

@@ -1,6 +1,8 @@
 package multilevel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/graph"
@@ -91,14 +93,23 @@ type Result struct {
 func Fiedler(g *graph.Graph, opt Options) (Result, error) {
 	ws := scratch.Get()
 	defer scratch.Put(ws)
-	return FiedlerWS(ws, g, opt)
+	return FiedlerWS(context.Background(), ws, g, opt)
 }
 
 // FiedlerWS is Fiedler with caller-provided scratch: the whole hierarchy
 // (coarse CSR arrays, domain maps, per-level operators and iterates) lives
 // in ws arenas for the duration of the call. The returned vector is freshly
 // allocated and safe to retain.
-func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, error) {
+//
+// ctx is checked between hierarchy-build contractions, at every V-cycle
+// level and inside the coarsest Lanczos solve's restart loop: on
+// cancellation the current iterate is
+// piecewise-constant interpolated straight up to the finest level — no
+// smoothing or RQI — and returned inside a *lanczos.ErrCancelled as the
+// best-so-far fallback, so a budget-expired solve still yields a usable
+// ordering vector (cancellation during the build, before any iterate
+// exists, carries no fallback).
+func FiedlerWS(ctx context.Context, ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, error) {
 	opt.setDefaults()
 	n := g.N()
 	if n == 0 {
@@ -110,12 +121,19 @@ func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, erro
 	mark := ws.Mark()
 	defer ws.Release(mark)
 
-	// Build the hierarchy.
+	// Build the hierarchy. Cancellation is observed between contraction
+	// levels too: a budget that expired before (or during) the build must
+	// not pay for the remaining MIS contractions. No iterate exists yet, so
+	// the ErrCancelled carries no fallback (Vector nil — the documented
+	// "before anything usable existed" state).
 	levels := make([]*graph.Graph, 1, opt.MaxLevels)
 	levels[0] = g
 	contractions := make([]*Contraction, 0, opt.MaxLevels)
 	cur := g
 	for cur.N() > opt.CoarsestSize && len(levels) < opt.MaxLevels {
+		if ctx != nil && ctx.Err() != nil {
+			return Result{Levels: len(levels), CoarsestN: cur.N()}, &lanczos.ErrCancelled{Cause: ctx.Err()}
+		}
 		c := ContractWS(ws, cur, opt.Seed+int64(len(levels)))
 		// Contraction must make progress; an independent set of size == n
 		// (edgeless graph) cannot shrink further.
@@ -136,8 +154,33 @@ func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, erro
 	} else {
 		op = laplacian.AutoFrom(coarsest, ws.Float64s(coarsest.N()))
 	}
-	lres, err := lanczos.Fiedler(op, op.GershgorinBound(), opt.Lanczos)
+
+	// fallback interpolates the iterate at contraction index li straight up
+	// to the finest level — piecewise-constant, no smoothing or RQI — and
+	// copies it off the arenas: the cheapest usable vector a cancelled solve
+	// can hand back.
+	fallback := func(x []float64, li int) []float64 {
+		for lj := li; lj >= 0; lj-- {
+			fx := ws.Float64s(levels[lj].N())
+			contractions[lj].InterpolateInto(fx, x)
+			x = fx
+		}
+		linalg.ProjectOutOnes(x)
+		linalg.Normalize(x)
+		return append([]float64(nil), x...)
+	}
+
+	lres, err := lanczos.Fiedler(ctx, op, op.GershgorinBound(), opt.Lanczos)
 	res.MatVecs += lres.MatVecs
+	var cancelled *lanczos.ErrCancelled
+	if errors.As(err, &cancelled) {
+		if lres.Vector == nil {
+			return Result{}, fmt.Errorf("multilevel: coarsest solve: %w", err)
+		}
+		res.Lambda = lres.Lambda
+		res.Vector = fallback(lres.Vector, len(contractions)-1)
+		return res, &lanczos.ErrCancelled{Cause: cancelled.Cause, Lambda: res.Lambda, Vector: res.Vector}
+	}
 	if err != nil && lres.Vector == nil {
 		return Result{}, fmt.Errorf("multilevel: coarsest solve: %w", err)
 	}
@@ -145,12 +188,23 @@ func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, erro
 	// ordering, but the miss must not vanish: record it in Converged and
 	// let the finest-level Residual quantify it.
 	res.Converged = err == nil
+	res.Lambda = lres.Lambda
 	x := lres.Vector
 
-	// Interpolate and refine up the hierarchy.
+	// Interpolate and refine up the hierarchy. Cancellation is checked once
+	// per level: a whole V-cycle level (smoothing sweeps plus RQI with its
+	// MINRES inner solves) is the unit of interruption, mirroring the
+	// per-restart granularity of the Lanczos loop.
 	shifted := &linalg.ShiftedOp{}
 	finestOp := op
 	for li := len(contractions) - 1; li >= 0; li-- {
+		if cerr := ctxErr(ctx); cerr != nil {
+			// The refinement was truncated: the coarsest solve's Converged
+			// must not stand for the unfinished finer levels.
+			res.Converged = false
+			res.Vector = fallback(x, li)
+			return res, &lanczos.ErrCancelled{Cause: cerr, Lambda: res.Lambda, Vector: res.Vector}
+		}
 		c := contractions[li]
 		fineG := levels[li]
 		fx := ws.Float64s(fineG.N())
@@ -166,10 +220,27 @@ func FiedlerWS(ws *scratch.Workspace, g *graph.Graph, opt Options) (Result, erro
 		}
 		res.MatVecs += JacobiSmoothWS(ws, fineG, fineOp, x, opt.SmoothSteps)
 		res.JacobiSweeps += opt.SmoothSteps
-		rr := rqiRefine(ws, fineOp, x, opt.RQI, shifted)
+		rr := rqiRefine(ctx, ws, fineOp, x, opt.RQI, shifted)
 		res.RQIIterations += rr.Iterations
 		res.MatVecs += rr.MatVecs
+		res.Lambda = rr.Lambda
 		finestOp = fineOp
+	}
+
+	// Cancellation during the finest level's refinement must surface: the
+	// loop-top check never runs again, and a silently-truncated vector
+	// returned with a nil error would be memoized by the artifact cache as
+	// if it were the converged solve. The refined iterate still rides along
+	// as the fallback. (With no contractions there was no refinement to
+	// truncate — the completed coarsest solve stands.)
+	if cerr := ctxErr(ctx); cerr != nil && len(contractions) > 0 {
+		res.Converged = false // truncated refinement, not a converged solve
+		res.Lambda = finestOp.RayleighQuotient(x)
+		res.MatVecs++
+		res.Vector = append([]float64(nil), x...)
+		linalg.ProjectOutOnes(res.Vector)
+		linalg.Normalize(res.Vector)
+		return res, &lanczos.ErrCancelled{Cause: cerr, Lambda: res.Lambda, Vector: res.Vector}
 	}
 
 	res.Lambda = finestOp.RayleighQuotient(x)

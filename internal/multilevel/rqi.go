@@ -1,11 +1,21 @@
 package multilevel
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/laplacian"
 	"repro/internal/linalg"
 	"repro/internal/scratch"
 )
+
+// ctxErr is a nil-tolerant ctx.Err: callers that never cancel may pass nil.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // RQIOptions configures the Rayleigh Quotient Iteration refinement.
 type RQIOptions struct {
@@ -97,21 +107,24 @@ func RQI(g *graph.Graph, x []float64, opt RQIOptions) RQIResult {
 func RQIWS(ws *scratch.Workspace, g *graph.Graph, x []float64, opt RQIOptions) RQIResult {
 	m := ws.Mark()
 	defer ws.Release(m)
-	return RQIOnWS(ws, laplacian.AutoFrom(g, ws.Float64s(g.N())), x, opt)
+	return RQIOnWS(context.Background(), ws, laplacian.AutoFrom(g, ws.Float64s(g.N())), x, opt)
 }
 
 // RQIOnWS is RQIWS against an already-constructed Laplacian operator, for
 // callers (the standalone RQI solver) that hold one from an earlier stage.
-func RQIOnWS(ws *scratch.Workspace, op laplacian.Interface, x []float64, opt RQIOptions) RQIResult {
+// ctx is checked once per RQI step: on cancellation the iteration stops at
+// the current iterate (Converged=false) instead of starting another MINRES
+// inner solve.
+func RQIOnWS(ctx context.Context, ws *scratch.Workspace, op laplacian.Interface, x []float64, opt RQIOptions) RQIResult {
 	shifted := &linalg.ShiftedOp{A: op}
-	return rqiRefine(ws, op, x, opt, shifted)
+	return rqiRefine(ctx, ws, op, x, opt, shifted)
 }
 
 // rqiRefine is the workspace-threaded RQI core shared by RQIWS and the
 // V-cycle in FiedlerWS. shifted is a reusable shifted-operator shell (its A
 // and Sigma are overwritten) so the hot loop boxes no new operator values;
 // the caller allocates it once per solve.
-func rqiRefine(ws *scratch.Workspace, op laplacian.Interface, x []float64, opt RQIOptions, shifted *linalg.ShiftedOp) RQIResult {
+func rqiRefine(ctx context.Context, ws *scratch.Workspace, op laplacian.Interface, x []float64, opt RQIOptions, shifted *linalg.ShiftedOp) RQIResult {
 	opt.setDefaults()
 	scale := op.GershgorinBound()
 	if scale <= 0 {
@@ -149,6 +162,11 @@ func rqiRefine(ws *scratch.Workspace, op laplacian.Interface, x []float64, opt R
 		res.Iterations = it
 		if res.Residual <= opt.Tol*scale {
 			res.Converged = true
+			return res
+		}
+		// Cancellation stops the refinement before the next (expensive)
+		// MINRES inner solve; the current iterate stays usable.
+		if ctxErr(ctx) != nil {
 			return res
 		}
 		shifted.Sigma = rho

@@ -1,10 +1,13 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/lanczos"
 	"repro/internal/laplacian"
 	"repro/internal/perm"
 	"repro/internal/scratch"
@@ -19,10 +22,14 @@ import (
 // by whichever racing candidate asks first — and every computation is a
 // pure function of the component graph and the engine options, so the
 // memoization preserves the engine's determinism contract regardless of
-// which worker wins the race.
+// which worker wins the race. User Orderers racing in the portfolio reach
+// the same cache through OrderRequest.Artifacts.
 //
-// Results are plain heap values (never workspace-backed): candidates on
-// other workers read them after their sync.Once completes.
+// A cancelled eigensolve is the one outcome that is NOT memoized: budget
+// expiry must not poison a cache that a Session carries across calls, so
+// the next caller retries (and observes its own context). Results are
+// plain heap values (never workspace-backed): candidates on other workers
+// read them after the memoizing mutex is released.
 type Artifacts struct {
 	g   *graph.Graph
 	opt core.Options
@@ -30,15 +37,26 @@ type Artifacts struct {
 	opOnce sync.Once
 	op     laplacian.Interface
 
-	fiedlerOnce  sync.Once
-	fiedlerDone  bool
-	fiedlerVec   []float64
-	fiedlerStats solver.Stats
-	fiedlerErr   error
-
-	spectralOnce  sync.Once
+	// memo is a capacity-1 semaphore serializing the Fiedler solve and the
+	// spectral ordering derived from it (the second racing spectral
+	// candidate blocks until the first finishes — the sync.Once behavior,
+	// but retryable after a cancelled solve). A semaphore rather than a
+	// mutex so a waiter whose context expires mid-wait can give up instead
+	// of sitting behind another caller's minutes-long solve (lockCtx).
+	// mu guards the memoized fields and the use counter for the brief
+	// snapshot reads (fiedlerReport, solveUses), which must never park
+	// behind a solve in flight under the semaphore.
+	memo          chan struct{}
+	mu            sync.Mutex
+	uses          int // Fiedler/Spectral consumptions (see solveUses)
+	fiedlerDone   bool
+	fiedlerVec    []float64
+	fiedlerStats  solver.Stats
+	fiedlerErr    error
+	spectralDone  bool
 	spectralOrd   perm.Perm
 	spectralEsize int64
+	spectralRev   bool
 
 	rootOnce sync.Once
 	root     int
@@ -50,14 +68,48 @@ type Artifacts struct {
 }
 
 func newArtifacts(g *graph.Graph, opt core.Options) *Artifacts {
-	return &Artifacts{g: g, opt: opt}
+	return &Artifacts{g: g, opt: opt, memo: make(chan struct{}, 1)}
+}
+
+// lockCtx acquires the memo semaphore, giving up with the context error if
+// ctx expires while waiting behind another caller's solve. An
+// already-expired ctx still acquires an uncontended semaphore, so cached
+// results stay servable past a deadline.
+func (a *Artifacts) lockCtx(ctx context.Context) error {
+	select {
+	case a.memo <- struct{}{}:
+		return nil
+	default:
+	}
+	if ctx == nil {
+		a.memo <- struct{}{}
+		return nil
+	}
+	select {
+	case a.memo <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *Artifacts) lock()   { a.memo <- struct{}{} }
+func (a *Artifacts) unlock() { <-a.memo }
+
+// isCancelled reports whether err came from context cancellation or
+// deadline expiry anywhere down the eigensolver stack.
+func isCancelled(err error) bool {
+	var ce *lanczos.ErrCancelled
+	return errors.As(err, &ce) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // Operator returns the component's memoized Laplacian operator —
 // heap-backed (never workspace-backed), parallelized by the laplacian auto
 // heuristics, its worker partition computed once. The instance supports
 // one matvec at a time (see ParallelOp), which holds today because the
-// only consumer is the Fiedler solve serialized under fiedlerOnce; a
+// only consumer is the Fiedler solve serialized under the artifact mutex; a
 // future candidate that runs its own matvecs concurrently must wrap the
 // component in its own ParallelOp instead of borrowing this one.
 func (a *Artifacts) Operator() laplacian.Interface {
@@ -71,31 +123,94 @@ func (a *Artifacts) Operator() laplacian.Interface {
 // statistics, computing them on first call (ws is used only for that
 // computation's scratch). Both spectral portfolio candidates call this, so
 // the component pays for exactly one eigensolve, run against the shared
-// component operator.
-func (a *Artifacts) Fiedler(ws *scratch.Workspace) ([]float64, solver.Stats, error) {
-	a.fiedlerOnce.Do(func() {
-		opt := a.opt
-		opt.Operator = a.Operator()
-		a.fiedlerVec, a.fiedlerStats, a.fiedlerErr = core.FiedlerConnectedWS(ws, a.g, opt)
-		a.fiedlerDone = true
-	})
-	return a.fiedlerVec, a.fiedlerStats, a.fiedlerErr
+// component operator. A cancelled solve is returned but not memoized, and
+// a caller whose ctx expires while waiting behind another caller's solve
+// returns *lanczos.ErrCancelled instead of blocking out its deadline.
+//
+// The returned vector is the memoized slice every other candidate (and
+// every later cached call) reads: treat it as read-only, copying before
+// any in-place scaling or reordering.
+func (a *Artifacts) Fiedler(ctx context.Context, ws *scratch.Workspace) ([]float64, solver.Stats, error) {
+	if err := a.lockCtx(ctx); err != nil {
+		return nil, solver.Stats{}, &lanczos.ErrCancelled{Cause: err}
+	}
+	defer a.unlock()
+	a.mu.Lock()
+	a.uses++
+	a.mu.Unlock()
+	return a.fiedlerLocked(ctx, ws)
+}
+
+func (a *Artifacts) fiedlerLocked(ctx context.Context, ws *scratch.Workspace) ([]float64, solver.Stats, error) {
+	a.mu.Lock()
+	if a.fiedlerDone {
+		vec, st, err := a.fiedlerVec, a.fiedlerStats, a.fiedlerErr
+		a.mu.Unlock()
+		return vec, st, err
+	}
+	a.mu.Unlock()
+	opt := a.opt
+	opt.Operator = a.Operator()
+	vec, st, err := core.FiedlerConnectedWS(ctx, ws, a.g, opt)
+	if isCancelled(err) {
+		return vec, st, err
+	}
+	a.mu.Lock()
+	a.fiedlerVec, a.fiedlerStats, a.fiedlerErr = vec, st, err
+	a.fiedlerDone = true
+	a.mu.Unlock()
+	return vec, st, err
 }
 
 // Spectral returns the component's memoized Algorithm 1 ordering (the
-// Fiedler vector sorted in the better direction) with its envelope size and
-// the solve statistics. SPECTRAL returns it directly; SPECTRAL+SLOAN
-// refines it — neither repeats the eigensolve, the sort or the
-// both-direction envelope scan.
-func (a *Artifacts) Spectral(ws *scratch.Workspace) (perm.Perm, int64, solver.Stats, error) {
-	a.spectralOnce.Do(func() {
-		x, _, err := a.Fiedler(ws)
-		if err != nil {
-			return
-		}
-		a.spectralOrd, a.spectralEsize, _ = core.OrderFiedler(ws, a.g, x)
-	})
-	return a.spectralOrd, a.spectralEsize, a.fiedlerStats, a.fiedlerErr
+// Fiedler vector sorted in the better direction) with its envelope size,
+// the winning sort direction and the solve statistics. SPECTRAL returns
+// it directly; SPECTRAL+SLOAN refines it — neither repeats the
+// eigensolve, the sort or the both-direction envelope scan. Like
+// Fiedler's vector, the returned ordering is the shared memoized slice:
+// read-only, copy before mutating.
+func (a *Artifacts) Spectral(ctx context.Context, ws *scratch.Workspace) (o perm.Perm, esize int64, reversed bool, st solver.Stats, err error) {
+	if lerr := a.lockCtx(ctx); lerr != nil {
+		return nil, 0, false, solver.Stats{}, &lanczos.ErrCancelled{Cause: lerr}
+	}
+	defer a.unlock()
+	a.mu.Lock()
+	a.uses++
+	if a.spectralDone {
+		o, esize, reversed, st, err := a.spectralOrd, a.spectralEsize, a.spectralRev, a.fiedlerStats, a.fiedlerErr
+		a.mu.Unlock()
+		return o, esize, reversed, st, err
+	}
+	a.mu.Unlock()
+	x, st, err := a.fiedlerLocked(ctx, ws)
+	if err != nil {
+		return nil, 0, false, st, err
+	}
+	o, esize, reversed = core.OrderFiedler(ws, a.g, x)
+	a.mu.Lock()
+	a.spectralOrd, a.spectralEsize, a.spectralRev = o, esize, reversed
+	a.spectralDone = true
+	a.mu.Unlock()
+	return o, esize, reversed, st, nil
+}
+
+// fiedlerReport snapshots the memoized eigensolve outcome for the run
+// report (stage 3 of Auto), without racing a concurrent run that shares
+// this Artifacts through a Session cache.
+func (a *Artifacts) fiedlerReport() (done bool, st solver.Stats, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fiedlerDone, a.fiedlerStats, a.fiedlerErr
+}
+
+// solveUses counts Fiedler/Spectral consumptions over the artifact's
+// lifetime. Auto snapshots it around a run to attribute a (possibly
+// cross-call-cached) eigensolve to the report only when one of the run's
+// own candidates actually read it.
+func (a *Artifacts) solveUses() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.uses
 }
 
 // Root returns the memoized George–Liu pseudo-peripheral vertex of the

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -198,11 +199,11 @@ func TestArtifactsMemoization(t *testing.T) {
 		t.Fatalf("Root not memoized: %d then %d", root, r2)
 	}
 
-	x1, st1, err := art.Fiedler(ws)
+	x1, st1, err := art.Fiedler(context.Background(), ws)
 	if err != nil {
 		t.Fatal(err)
 	}
-	x2, st2, err := art.Fiedler(ws)
+	x2, st2, err := art.Fiedler(context.Background(), ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestArtifactsMemoization(t *testing.T) {
 	}
 	// The memoized spectral ordering matches core.Spectral, and its cached
 	// envelope size is the true one.
-	o, esize, st3, err := art.Spectral(ws)
+	o, esize, _, st3, err := art.Spectral(context.Background(), ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestArtifactsMemoization(t *testing.T) {
 	if esize != envelope.Esize(g, o) {
 		t.Fatalf("cached esize %d != recomputed %d", esize, envelope.Esize(g, o))
 	}
-	if o2, _, _, _ := art.Spectral(ws); &o2[0] != &o[0] {
+	if o2, _, _, _, _ := art.Spectral(context.Background(), ws); &o2[0] != &o[0] {
 		t.Fatal("Spectral artifact recomputed on second access")
 	}
 }
@@ -251,7 +252,7 @@ func TestArtifactsOperatorShared(t *testing.T) {
 	}
 	ws := scratch.Get()
 	defer scratch.Put(ws)
-	if _, st, err := art.Fiedler(ws); err != nil {
+	if _, st, err := art.Fiedler(context.Background(), ws); err != nil {
 		t.Fatal(err)
 	} else if st.Workers != op1.Workers() {
 		t.Fatalf("Fiedler solve reports %d workers, shared operator has %d", st.Workers, op1.Workers())

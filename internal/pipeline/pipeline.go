@@ -1,7 +1,10 @@
-// Package pipeline implements the parallel portfolio ordering engine: it
+// Package pipeline implements the context-first ordering service behind
+// the public API: a registry of pluggable ordering algorithms (Orderer,
+// Register, Lookup, Algorithms) into which every built-in self-registers,
+// and the parallel portfolio engine (Auto) that races them. Auto
 // decomposes a graph into connected components, orders every component
 // concurrently on a bounded worker pool while racing a configurable
-// portfolio of ordering algorithms per component, scores the candidates by
+// portfolio of registered Orderers per component, scores the candidates by
 // envelope size (ties broken by bandwidth, then envelope work, then
 // portfolio position), and stitches the per-component winners into one
 // global permutation.
@@ -11,52 +14,42 @@
 // the pseudo-diameter pair are each computed once — by whichever racing
 // candidate asks first — so SPECTRAL and SPECTRAL+SLOAN cost one
 // eigensolve per component, and the BFS-rooted algorithms share their
-// peripheral searches. Artifacts are pure functions of the component and
-// the seed, so sharing does not perturb determinism or results.
+// peripheral searches. User-registered Orderers reach the same cache
+// through OrderRequest.Artifacts. Artifacts are pure functions of the
+// component and the options, so sharing does not perturb determinism or
+// results. Options.Cache additionally persists decomposition, subgraphs
+// and artifacts across Auto calls on the same graph — the reuse a
+// long-lived Session provides.
 //
 // The engine is deterministic: for a fixed graph, portfolio and seed the
 // result is byte-identical regardless of Parallelism or goroutine
 // scheduling, because every (component, algorithm) candidate is computed
 // into its own slot and the winner selection is a pure function of the
-// collected slots. The only exception is an expiring Budget, which skips
-// not-yet-started non-fallback candidates and therefore depends on timing;
-// the fallback (first portfolio entry) always runs, so a valid permutation
-// is produced even with a zero budget.
+// collected slots. The only exception is an expiring Budget, which cancels
+// in-flight non-fallback candidates (their eigensolves observe the
+// deadline context within one restart / V-cycle iteration) and skips
+// unstarted ones, and therefore depends on timing; the fallback (first
+// portfolio entry) always runs to completion, so a valid permutation is
+// produced even with a zero budget.
 package pipeline
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/envelope"
 	"repro/internal/graph"
-	"repro/internal/order"
 	"repro/internal/perm"
 	"repro/internal/scratch"
 	"repro/internal/solver"
 )
 
-// Canonical algorithm names accepted in Options.Portfolio.
-const (
-	AlgRCM           = "RCM"
-	AlgCM            = "CM"
-	AlgGPS           = "GPS"
-	AlgGK            = "GK"
-	AlgKing          = "KING"
-	AlgSloan         = "SLOAN"
-	AlgSpectral      = "SPECTRAL"
-	AlgSpectralSloan = "SPECTRAL+SLOAN"
-
-	// AlgTrivial marks components of ≤ 2 vertices, where every ordering is
-	// optimal and the portfolio is not run.
-	AlgTrivial = "TRIVIAL"
-)
-
-// DefaultPortfolio returns the default contender set: the paper's
+// DefaultPortfolio returns the default Auto contender set: the paper's
 // combinatorial baselines plus both spectral variants. The first entry is
 // the budget fallback and should stay cheap.
 func DefaultPortfolio() []string {
@@ -65,9 +58,10 @@ func DefaultPortfolio() []string {
 
 // Options configures Auto.
 type Options struct {
-	// Portfolio lists the algorithms raced on each component, by canonical
-	// name (see the Alg* constants). Empty means DefaultPortfolio. The
-	// first entry is the fallback that always runs even past the Budget.
+	// Portfolio lists the algorithms raced on each component by registry
+	// name (case-insensitive; see Register). Empty means DefaultPortfolio.
+	// The first entry is the fallback that always runs even past the
+	// Budget.
 	Portfolio []string
 	// Parallelism bounds the worker pool; ≤ 0 means GOMAXPROCS.
 	Parallelism int
@@ -76,14 +70,23 @@ type Options struct {
 	// Spectral carries eigensolver knobs for the spectral portfolio
 	// entries. Its Seed defaults to Options.Seed when zero.
 	Spectral core.Options
-	// Budget, when positive, soft-limits the run: candidates (other than
-	// each component's fallback) that have not started when the budget
-	// expires are skipped and recorded in the report. Skipping depends on
-	// timing, so budgeted runs trade determinism for latency.
+	// Weight is an optional symmetric positive edge-weight function (by
+	// g's labels), relabeled per component and passed to candidates via
+	// OrderRequest.Weight — required by the WEIGHTED portfolio entry.
+	Weight func(u, v int) float64
+	// Budget, when positive, soft-limits the run: non-fallback candidates
+	// that have not started when the budget expires are skipped, and ones
+	// already running are cancelled via a deadline context (in-flight
+	// eigensolves return within one restart / V-cycle iteration). Both
+	// depend on timing, so budgeted runs trade determinism for latency.
 	Budget time.Duration
 	// Context, when non-nil, cancels the run: Auto returns ctx.Err() and a
 	// nil permutation. Nil means context.Background().
 	Context context.Context
+	// Cache, when non-nil, memoizes the component decomposition, subgraph
+	// extraction and per-component artifacts across Auto calls on the same
+	// graph (see Cache). Sessions install theirs here.
+	Cache *Cache
 }
 
 // Candidate reports one algorithm's attempt on one component.
@@ -94,8 +97,8 @@ type Candidate struct {
 	Ework     int64
 	Seconds   float64
 	// Skipped is true when the budget expired before this candidate
-	// started; Err is set when the algorithm failed (eigensolver
-	// breakdown) or returned an invalid permutation.
+	// started; Err is set when the algorithm failed (eigensolver breakdown,
+	// budget cancellation mid-solve) or returned an invalid permutation.
 	Skipped bool
 	Err     string
 	// Solve carries the eigensolver statistics behind a spectral candidate
@@ -128,22 +131,18 @@ type Report struct {
 	Stats       envelope.Stats
 	Parallelism int
 	Seconds     float64
-	// Eigensolves counts the Fiedler eigensolves actually performed: with
-	// both spectral candidates in the portfolio this is one per nontrivial
-	// component, not two — the per-component artifact cache shares the
-	// solve.
+	// Eigensolves counts the Fiedler solves this run's candidates consumed:
+	// with both spectral candidates in the portfolio this is one per
+	// nontrivial component, not two — the per-component artifact cache
+	// shares the solve. A solve served from a Session's cross-call cache
+	// counts only when a candidate of this run read it; a spectral-free
+	// portfolio reports zero even on a warm cache.
 	Eigensolves int
 	// Solve aggregates the eigensolver statistics across all components:
 	// counters summed, estimates (λ2, residual, hierarchy shape) from the
 	// largest component that ran a solve.
 	Solve solver.Stats
 }
-
-// orderFunc orders a connected component (≥ 3 vertices). The workspace is
-// the calling worker's scratch; implementations must not retain it or any
-// buffer from it. art is the component's shared artifact cache; the
-// optional stats report the eigensolve behind a spectral candidate.
-type orderFunc func(ws *scratch.Workspace, g *graph.Graph, opt Options, art *Artifacts) (perm.Perm, *solver.Stats, error)
 
 func spectralOpt(opt Options) core.Options {
 	s := opt.Spectral
@@ -153,57 +152,24 @@ func spectralOpt(opt Options) core.Options {
 	return s
 }
 
-var registry = map[string]orderFunc{
-	AlgRCM: func(ws *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
-		return order.RCMFromRootWS(ws, g, art.Root()), nil, nil
-	},
-	AlgCM: func(ws *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
-		return order.CuthillMcKeeFromRootWS(ws, g, art.Root()), nil, nil
-	},
-	AlgGPS: func(_ *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
-		u, v, lsU, lsV := art.Diameter()
-		return order.GPSFromDiameter(g, u, v, lsU, lsV), nil, nil
-	},
-	AlgGK: func(_ *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
-		u, v, lsU, lsV := art.Diameter()
-		return order.GKFromDiameter(g, u, v, lsU, lsV), nil, nil
-	},
-	AlgKing: func(_ *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
-		return order.KingFromRoot(g, art.Root()), nil, nil
-	},
-	AlgSloan: func(ws *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
-		u, _, _, lsV := art.Diameter()
-		return order.SloanFromDiameterWS(ws, g, u, lsV.LevelOf), nil, nil
-	},
-	AlgSpectral: func(ws *scratch.Workspace, _ *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
-		o, _, st, err := art.Spectral(ws)
-		if err != nil {
-			return nil, &st, err
-		}
-		return o, &st, nil
-	},
-	AlgSpectralSloan: func(ws *scratch.Workspace, g *graph.Graph, _ Options, art *Artifacts) (perm.Perm, *solver.Stats, error) {
-		spectral, esize, st, err := art.Spectral(ws)
-		if err != nil {
-			return nil, &st, err
-		}
-		return core.RefineSpectralWS(ws, g, spectral, esize), &st, nil
-	},
-}
-
 // Portfolio resolves opt.Portfolio (or the default) against the algorithm
-// registry, returning the names in race order.
+// registry, returning the canonical names in race order. Unknown names
+// error with the list of registered algorithms.
 func Portfolio(opt Options) ([]string, error) {
 	names := opt.Portfolio
 	if len(names) == 0 {
 		names = DefaultPortfolio()
 	}
-	for _, name := range names {
-		if _, ok := registry[name]; !ok {
-			return nil, fmt.Errorf("pipeline: unknown portfolio algorithm %q", name)
+	out := make([]string, len(names))
+	for i, name := range names {
+		key := Canonical(name)
+		if _, ok := Lookup(key); !ok {
+			return nil, fmt.Errorf("pipeline: unknown portfolio algorithm %q (registered: %s)",
+				name, strings.Join(Algorithms(), ", "))
 		}
+		out[i] = key
 	}
-	return names, nil
+	return out, nil
 }
 
 // candidate is one (component, algorithm) slot filled by the worker pool.
@@ -215,11 +181,12 @@ type candidate struct {
 
 // componentWork is the per-component state shared between stages.
 type componentWork struct {
-	verts []int
-	sub   *graph.Graph
-	old   []int
-	art   *Artifacts
-	cands []candidate
+	verts  []int
+	sub    *graph.Graph
+	old    []int
+	art    *Artifacts
+	weight func(u, v int) float64
+	cands  []candidate
 }
 
 // Auto computes the portfolio ordering of g. See the package comment for
@@ -231,13 +198,13 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var deadline time.Time
-	if opt.Budget > 0 {
-		deadline = start.Add(opt.Budget)
-	}
 	names, err := Portfolio(opt)
 	if err != nil {
 		return nil, Report{}, err
+	}
+	orderers := make([]Orderer, len(names))
+	for i, name := range names {
+		orderers[i], _ = Lookup(name)
 	}
 	workers := opt.Parallelism
 	if workers <= 0 {
@@ -251,27 +218,58 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 		return perm.Perm{}, rep, nil
 	}
 
-	comps := graph.Components(g)
-	work := make([]*componentWork, len(comps))
-	for i, c := range comps {
-		work[i] = &componentWork{verts: c}
+	// The budget context lets an expiring Budget interrupt candidates that
+	// are already running, not just skip unstarted ones: every non-fallback
+	// candidate observes budgetCtx, whose deadline reaches the eigensolver
+	// restart loops. The fallback (portfolio position 0) observes only the
+	// caller's context, so it always completes and a valid permutation
+	// exists past any budget.
+	var deadline time.Time
+	budgetCtx := ctx
+	if opt.Budget > 0 {
+		deadline = start.Add(opt.Budget)
+		var cancel context.CancelFunc
+		budgetCtx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
 	}
 
-	// Stage 1: extract subgraphs (parallel over components). Trivial
-	// components (≤ 2 vertices) take a fast path and skip the portfolio —
-	// every ordering of them is optimal. The extracted CSR is retained
-	// across stages, so each component gets its own Graph, but the
-	// relabeling runs off the worker's stamp map — no per-component map.
-	runPool(workers, len(work), func(ci int, ws *scratch.Workspace) {
-		w := work[ci]
-		if len(w.verts) <= 2 {
-			return
+	// Stage 1: decompose into components and extract subgraphs (parallel
+	// over components, through the cross-call cache when one is
+	// configured). Trivial components (≤ 2 vertices) skip the portfolio —
+	// every ordering of them is optimal.
+	sopt := spectralOpt(opt)
+	// A caller-supplied operator is per-call identity that artKey
+	// deliberately strips from the cache key, so such runs are served
+	// uncached — otherwise a second run could be handed a solve driven by
+	// the previous call's operator (mirrors Session.Do / Session.fiedler).
+	cache := opt.Cache
+	if sopt.Operator != nil || sopt.Multilevel.FinestOp != nil {
+		cache = nil
+	}
+	res := resolve(g, workers, sopt, cache)
+	work := make([]*componentWork, len(res.comps))
+	for i := range res.comps {
+		work[i] = &componentWork{verts: res.comps[i], old: res.comps[i]}
+		if res.subs[i] != nil {
+			work[i].sub = res.subs[i]
+			work[i].art = res.arts[i]
+			if opt.Weight != nil {
+				old := res.comps[i]
+				weight := opt.Weight
+				work[i].weight = func(u, v int) float64 { return weight(old[u], old[v]) }
+			}
 		}
-		w.sub = &graph.Graph{}
-		g.SubgraphInto(ws, w.sub, w.verts)
-		w.old = w.verts
-		w.art = newArtifacts(w.sub, spectralOpt(opt))
-	})
+	}
+
+	// Snapshot each artifact's consumption count: cached artifacts may
+	// carry an eigensolve from an earlier run on the same graph, which this
+	// run's report must claim only if one of its own candidates reads it.
+	usesBefore := make([]int, len(work))
+	for i, w := range work {
+		if w.art != nil {
+			usesBefore[i] = w.art.solveUses()
+		}
+	}
 
 	// Stage 2: race the portfolio — one task per (component, algorithm)
 	// pair, so a single huge component still exploits portfolio-width
@@ -297,15 +295,37 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 			return
 		}
 		// The budget skips everything but each component's fallback
-		// (portfolio position 0), which guarantees a valid result.
-		if t.ai > 0 && !deadline.IsZero() && time.Now().After(deadline) {
-			slot.Skipped = true
-			return
+		// (portfolio position 0), which guarantees a valid result; a
+		// non-fallback candidate that does start runs under the deadline
+		// context and is cancelled mid-flight when the budget expires.
+		taskCtx := ctx
+		if t.ai > 0 {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				slot.Skipped = true
+				return
+			}
+			taskCtx = budgetCtx
+		}
+		req := OrderRequest{
+			Algorithm: names[t.ai],
+			Seed:      opt.Seed,
+			Spectral:  sopt, // the one seed-defaulted options value the artifacts are keyed by
+			Weight:    w.weight,
+			Artifacts: w.art,
+			Workspace: ws,
 		}
 		t0 := time.Now()
-		o, solve, err := registry[names[t.ai]](ws, w.sub, opt, w.art)
+		ores, err := orderers[t.ai].Order(taskCtx, w.sub, &req)
+		o := ores.Perm
 		slot.Seconds = time.Since(t0).Seconds()
-		slot.Solve = solve
+		slot.Solve = ores.Solve
+		// Length is validated before Check (which only proves o permutes its
+		// own indices): a registered Orderer returning a wrong-sized ordering
+		// must surface as this candidate's error, not crash the scorer.
+		if err == nil && len(o) != w.sub.N() {
+			err = fmt.Errorf("pipeline: %s returned a %d-length ordering for a %d-vertex component",
+				names[t.ai], len(o), w.sub.N())
+		}
 		if err == nil {
 			err = o.Check()
 		}
@@ -327,24 +347,48 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 	// Stage 3: pick winners and stitch, in deterministic component order.
 	// Eigensolver statistics aggregate largest-component-first: the first
 	// component whose solve succeeded provides the estimates; every solve
-	// that ran — errored ones included — contributes its counters, and any
-	// failure or partial convergence clears the aggregate Converged.
+	// consumed by this run's candidates — errored ones included —
+	// contributes its counters, and any failure or partial convergence
+	// clears the aggregate Converged. A cached solve no candidate read
+	// (e.g. a spectral-free portfolio on a warm Session cache) is not this
+	// run's work and stays out of the report.
 	out := make(perm.Perm, 0, n)
 	var counters solver.Stats
 	allConverged := true
 	haveEstimates := false
-	for _, w := range work {
-		a := w.art
-		if a == nil || !a.fiedlerDone {
+	for i, w := range work {
+		if w.art == nil || w.art.solveUses() == usesBefore[i] {
+			continue
+		}
+		// The use-count delta alone can race a concurrent run sharing this
+		// cached artifact, so additionally require that one of this run's
+		// own candidates reported solver stats — the signature of having
+		// read the solve. WEIGHTED is excluded from that signature: its
+		// stats come from a private value-dependent solve that never moves
+		// the use count, so under a concurrent-run race it must not vouch
+		// for the pattern solve. (A user orderer that reads the artifacts
+		// but reports no Solve makes this attribution best-effort, never
+		// an over-claim by the built-ins.)
+		consumed := false
+		for ai := range w.cands {
+			if w.cands[ai].Solve != nil && names[ai] != AlgWeighted {
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			continue
+		}
+		done, st, ferr := w.art.fiedlerReport()
+		if !done {
 			continue
 		}
 		rep.Eigensolves++
-		st := a.fiedlerStats
 		counters.AddCounters(st)
-		if a.fiedlerErr != nil || !st.Converged {
+		if ferr != nil || !st.Converged {
 			allConverged = false
 		}
-		if !haveEstimates && a.fiedlerErr == nil {
+		if !haveEstimates && ferr == nil {
 			rep.Solve = st
 			haveEstimates = true
 		}
@@ -361,8 +405,6 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 		if w.sub == nil {
 			local = perm.Identity(len(w.verts))
 			cr.Winner = AlgTrivial
-			// Reuse the identity stitch below with old = verts.
-			w.old = w.verts
 			if len(w.verts) == 2 {
 				// A 2-vertex component is a single edge; its envelope
 				// parameters are all 1 under any ordering.

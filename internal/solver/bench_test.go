@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -28,7 +29,7 @@ func BenchmarkEigensolver(b *testing.B) {
 				b.ResetTimer()
 				var matvecs int
 				for i := 0; i < b.N; i++ {
-					_, st, err := s.Solve(ws, sz.g)
+					_, st, err := s.Solve(context.Background(), ws, sz.g)
 					if err != nil {
 						b.Fatal(err)
 					}

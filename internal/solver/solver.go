@@ -13,6 +13,8 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -95,7 +97,11 @@ type Solver interface {
 	// Solve computes the Fiedler pair of the connected graph g. A non-nil
 	// error means no usable vector was produced; partial convergence is
 	// reported via Stats.Converged=false with a usable vector instead.
-	Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error)
+	// ctx cancels an in-flight solve: the schemes check it at restart /
+	// V-cycle granularity and return a *lanczos.ErrCancelled carrying the
+	// best-so-far fallback vector (also returned in the vector slot when
+	// usable). nil ctx means no cancellation.
+	Solve(ctx context.Context, ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error)
 }
 
 // Lanczos is the direct solver: full-reorthogonalization Lanczos on the
@@ -113,13 +119,13 @@ type Lanczos struct {
 func (Lanczos) Name() string { return SchemeLanczos }
 
 // Solve implements Solver.
-func (s Lanczos) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error) {
+func (s Lanczos) Solve(ctx context.Context, ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error) {
 	m := ws.Mark()
 	op := s.Op
 	if op == nil {
 		op = laplacian.AutoFrom(g, ws.Float64s(g.N()))
 	}
-	res, err := lanczos.Fiedler(op, op.GershgorinBound(), s.Opt)
+	res, err := lanczos.Fiedler(ctx, op, op.GershgorinBound(), s.Opt)
 	ws.Release(m)
 	st := Stats{
 		Scheme:    SchemeLanczos,
@@ -133,6 +139,13 @@ func (s Lanczos) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats,
 	}
 	if err != nil && res.Vector == nil {
 		return nil, st, err
+	}
+	// Cancellation propagates as an error — the caller asked the solve to
+	// stop — but the best-so-far vector rides along for fallback-aware
+	// layers (the portfolio engine's budget path).
+	var cancelled *lanczos.ErrCancelled
+	if errors.As(err, &cancelled) {
+		return res.Vector, st, err
 	}
 	// A not-fully-converged vector is still usable for ordering — the
 	// paper's "terminate the reordering process depending on a stopping
@@ -153,12 +166,12 @@ type Multilevel struct {
 func (Multilevel) Name() string { return SchemeMultilevel }
 
 // Solve implements Solver.
-func (s Multilevel) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error) {
+func (s Multilevel) Solve(ctx context.Context, ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error) {
 	opt := s.Opt
 	if opt.FinestOp == nil {
 		opt.FinestOp = s.Op
 	}
-	res, err := multilevel.FiedlerWS(ws, g, opt)
+	res, err := multilevel.FiedlerWS(ctx, ws, g, opt)
 	st := Stats{
 		Scheme:        SchemeMultilevel,
 		Lambda:        res.Lambda,
@@ -172,7 +185,9 @@ func (s Multilevel) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Sta
 		Converged:     res.Converged,
 	}
 	if err != nil {
-		return nil, st, err
+		// A cancelled multilevel solve still reports its interpolated
+		// fallback vector alongside the error.
+		return res.Vector, st, err
 	}
 	return res.Vector, st, nil
 }
@@ -197,7 +212,7 @@ type RQI struct {
 func (RQI) Name() string { return SchemeRQI }
 
 // Solve implements Solver.
-func (s RQI) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error) {
+func (s RQI) Solve(ctx context.Context, ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, Stats{Scheme: SchemeRQI}, fmt.Errorf("solver: empty graph")
@@ -229,7 +244,7 @@ func (s RQI) Solve(ws *scratch.Workspace, g *graph.Graph) ([]float64, Stats, err
 		st.MatVecs += multilevel.JacobiSmoothWS(ws, g, op, x, steps)
 		st.JacobiSweeps += steps
 	}
-	res := multilevel.RQIOnWS(ws, op, x, s.Opt)
+	res := multilevel.RQIOnWS(ctx, ws, op, x, s.Opt)
 	st.Lambda = res.Lambda
 	st.Residual = res.Residual
 	st.MatVecs += res.MatVecs

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestSolversAgreeOnGrid(t *testing.T) {
 	want := 4 * math.Pow(math.Sin(math.Pi/80), 2)
 	ws := scratch.New()
 	for _, s := range []Solver{Lanczos{}, Multilevel{}} {
-		x, st, err := s.Solve(ws, g)
+		x, st, err := s.Solve(context.Background(), ws, g)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -44,7 +45,7 @@ func TestSolversAgreeOnGrid(t *testing.T) {
 func TestStatsShapePerScheme(t *testing.T) {
 	g := graph.Grid(60, 60)
 	ws := scratch.New()
-	_, ml, err := Multilevel{}.Solve(ws, g)
+	_, ml, err := Multilevel{}.Solve(context.Background(), ws, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestStatsShapePerScheme(t *testing.T) {
 	if ml.RQIIterations == 0 || ml.JacobiSweeps == 0 {
 		t.Fatalf("multilevel refinement not instrumented: %+v", ml)
 	}
-	_, lz, err := Lanczos{}.Solve(ws, g)
+	_, lz, err := Lanczos{}.Solve(context.Background(), ws, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestStatsShapePerScheme(t *testing.T) {
 func TestLanczosPartialConvergenceSurfaces(t *testing.T) {
 	g := graph.Grid(50, 50)
 	ws := scratch.New()
-	x, st, err := Lanczos{Opt: lanczos.Options{MaxBasis: 4, MaxRestarts: 1}}.Solve(ws, g)
+	x, st, err := Lanczos{Opt: lanczos.Options{MaxBasis: 4, MaxRestarts: 1}}.Solve(context.Background(), ws, g)
 	if err != nil {
 		t.Fatalf("partial convergence must not be a hard error: %v", err)
 	}
@@ -98,7 +99,7 @@ func TestRQIPolishesStartOnPath(t *testing.T) {
 		start[v] = math.Cos(math.Pi*(float64(v)+0.5)/float64(n)) + 0.02*math.Sin(float64(7*v))
 	}
 	ws := scratch.New()
-	_, st, err := RQI{Start: start}.Solve(ws, g)
+	_, st, err := RQI{Start: start}.Solve(context.Background(), ws, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestRQIPolishesStartOnPath(t *testing.T) {
 func TestRQIRandomStart(t *testing.T) {
 	g := graph.Grid(20, 20)
 	ws := scratch.New()
-	x, st, err := RQI{Seed: 3}.Solve(ws, g)
+	x, st, err := RQI{Seed: 3}.Solve(context.Background(), ws, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestStatsAccumulate(t *testing.T) {
 func TestMultilevelOptionsPassThrough(t *testing.T) {
 	g := graph.Grid(50, 50)
 	ws := scratch.New()
-	_, st, err := Multilevel{Opt: multilevel.Options{CoarsestSize: 30}}.Solve(ws, g)
+	_, st, err := Multilevel{Opt: multilevel.Options{CoarsestSize: 30}}.Solve(context.Background(), ws, g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,274 @@
+package envred
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/perm"
+	"repro/internal/pipeline"
+	"repro/internal/scratch"
+)
+
+// SessionOptions configures a Session. The zero value is a good default:
+// seed 0, automatic eigensolver selection, GOMAXPROCS portfolio workers
+// and a DefaultCacheGraphs-sized artifact cache.
+type SessionOptions struct {
+	// Seed drives every randomized piece of the session's runs; fixed seed
+	// ⇒ reproducible results.
+	Seed int64
+	// Spectral carries the eigensolver options used when a call does not
+	// supply its own. Its Seed defaults to SessionOptions.Seed when zero.
+	Spectral SpectralOptions
+	// Parallelism bounds Session.Auto's worker pool (≤ 0 = GOMAXPROCS).
+	Parallelism int
+	// Portfolio is Session.Auto's contender list by registry name (empty =
+	// DefaultPortfolio).
+	Portfolio []string
+	// Budget soft-limits Session.Auto runs (0 = unlimited); see
+	// AutoOptions.Budget.
+	Budget time.Duration
+	// CacheGraphs bounds the per-graph artifact cache: > 0 sets the
+	// capacity, 0 means DefaultCacheGraphs, < 0 disables caching.
+	CacheGraphs int
+}
+
+// Session is a reusable, goroutine-safe ordering service: it owns a
+// per-graph artifact cache (component decomposition, extracted subgraphs,
+// Fiedler eigensolves, peripheral roots and pseudo-diameter pairs, LRU-
+// bounded by SessionOptions.CacheGraphs) and runs every call on the shared
+// scratch-arena, Lanczos-workspace and parallel-SpMV worker pools, so a
+// long-lived Session amortizes all of that across calls — the serving
+// shape the top-level convenience functions (Spectral, Auto, Fiedler, …)
+// now delegate to through a lazily-initialized default Session.
+//
+// All methods are context-first: cancellation and deadlines interrupt
+// in-flight eigensolves at restart / V-cycle granularity, returning the
+// typed *ErrCancelled with the best-so-far fallback inside. Methods may be
+// called concurrently from any number of goroutines; concurrent calls on
+// the same graph share cached artifacts instead of repeating work.
+//
+// Caching never changes results: every cached artifact is a pure function
+// of the graph and the options, so Session calls are byte-identical to the
+// uncached top-level functions (pinned by the shim-equivalence tests).
+type Session struct {
+	opt   SessionOptions
+	cache *pipeline.Cache
+}
+
+// NewSession returns a Session with the given options. The zero
+// SessionOptions value is valid.
+func NewSession(opt SessionOptions) *Session {
+	s := &Session{opt: opt}
+	if opt.CacheGraphs >= 0 {
+		s.cache = pipeline.NewCache(opt.CacheGraphs)
+	}
+	return s
+}
+
+var (
+	defaultSessionOnce sync.Once
+	defaultSession     *Session
+)
+
+// DefaultSession returns the lazily-initialized process-wide Session the
+// top-level convenience functions (Spectral, SpectralSloan,
+// WeightedSpectral, Auto, Fiedler) delegate to. Its artifact cache
+// retains up to DefaultCacheGraphs recently-ordered graphs (with their
+// extracted subgraphs and Fiedler vectors) to amortize repeated calls;
+// call DefaultSession().Reset() to release that working set, or hold a
+// dedicated NewSession(SessionOptions{CacheGraphs: -1}) for strictly
+// stateless behavior.
+func DefaultSession() *Session {
+	defaultSessionOnce.Do(func() {
+		defaultSession = NewSession(SessionOptions{})
+	})
+	return defaultSession
+}
+
+// spectral returns the session-default eigensolver options with the seed
+// defaulted.
+func (s *Session) spectral() SpectralOptions {
+	opt := s.opt.Spectral
+	if opt.Seed == 0 {
+		opt.Seed = s.opt.Seed
+	}
+	return opt
+}
+
+// Order runs one registered algorithm (see Algorithms) on g — the whole
+// graph, disconnected inputs included — and reports the uniform Result.
+// The algorithm name is case-insensitive; unknown names error with the
+// registered list.
+func (s *Session) Order(ctx context.Context, g *Graph, algorithm string) (Result, error) {
+	return s.Do(ctx, g, algorithm, OrderRequest{Seed: s.opt.Seed, Spectral: s.opt.Spectral})
+}
+
+// OrderWeighted is Order with a symmetric positive edge-weight function —
+// the input of the WEIGHTED spectral algorithm (and of any registered
+// Orderer that reads OrderRequest.Weight).
+func (s *Session) OrderWeighted(ctx context.Context, g *Graph, algorithm string, weight func(u, v int) float64) (Result, error) {
+	return s.Do(ctx, g, algorithm, OrderRequest{Seed: s.opt.Seed, Spectral: s.opt.Spectral, Weight: weight})
+}
+
+// Do runs a registered algorithm with an explicit request — the escape
+// hatch Order and OrderWeighted are sugar over, and the one the
+// compatibility shims use to pass per-call eigensolver options. The
+// request's Seed defaults to the session's; its Artifacts and Workspace
+// fields are managed by the engine and should be left nil.
+func (s *Session) Do(ctx context.Context, g *Graph, algorithm string, req OrderRequest) (Result, error) {
+	return s.do(ctx, g, algorithm, req, true)
+}
+
+// do is Do with Result.Stats optional: the historical shims discard the
+// envelope parameters, so they skip that O(n+nnz) scan entirely rather
+// than compute and throw it away.
+func (s *Session) do(ctx context.Context, g *Graph, algorithm string, req OrderRequest, wantStats bool) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	name := pipeline.Canonical(algorithm)
+	ord, ok := pipeline.Lookup(name)
+	if !ok {
+		return Result{}, fmt.Errorf("envred: unknown algorithm %q (registered: %v)", algorithm, Algorithms())
+	}
+	if req.Seed == 0 {
+		req.Seed = s.opt.Seed
+	}
+	// Pre-default the spectral seed exactly as the portfolio engine does,
+	// so a registered Orderer observes the same request whether it was
+	// invoked here or raced inside Auto.
+	if req.Spectral.Seed == 0 {
+		req.Spectral.Seed = req.Seed
+	}
+	req.Algorithm = name
+	// On connected inputs, hand the orderer the session's memoized
+	// whole-graph artifact cache (eigensolve, peripheral root, pseudo-
+	// diameter): repeated Order calls on the same graph — and mixed
+	// SPECTRAL / SPECTRAL+SLOAN / BFS-rooted calls — then share the
+	// expensive precomputations. Artifacts are pure functions of
+	// (graph, options), so results stay byte-identical to the uncached
+	// path (pinned by the shim-equivalence golden test). Components of
+	// < 3 vertices and disconnected graphs take the whole-graph path.
+	// A caller-supplied operator (req.Spectral.Operator or
+	// req.Spectral.Multilevel.FinestOp) bypasses the cache: the caller
+	// wants that exact instance driven (instrumented or preconditioned
+	// operators), and cached artifacts install their own.
+	cached := false
+	if req.Artifacts == nil && s.cache != nil && req.Spectral.Operator == nil &&
+		req.Spectral.Multilevel.FinestOp == nil && g.N() >= 3 {
+		req.Artifacts = s.cache.WholeIfConnected(g, req.Spectral)
+		cached = req.Artifacts != nil
+	}
+	start := time.Now()
+	res, err := ord.Order(ctx, g, &req)
+	res.Algorithm = name
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	if cached && res.Perm != nil {
+		// The artifact-backed paths may return the memoized ordering
+		// itself; callers own their Result, so hand out a copy and keep the
+		// cache immutable.
+		res.Perm = append(perm.Perm(nil), res.Perm...)
+	}
+	// Length first: Check only proves the slice permutes its own indices,
+	// and the envelope scorer panics on a size mismatch.
+	if len(res.Perm) != g.N() {
+		return res, fmt.Errorf("envred: %s returned a %d-length ordering for a %d-vertex graph", name, len(res.Perm), g.N())
+	}
+	if cerr := res.Perm.Check(); cerr != nil {
+		return res, fmt.Errorf("envred: %s returned an invalid permutation: %w", name, cerr)
+	}
+	if wantStats {
+		res.Stats = envelope.Compute(g, res.Perm)
+	}
+	return res, nil
+}
+
+// Auto races the session's portfolio per connected component (see the
+// package-level Auto) with the session's seed, parallelism and budget,
+// reusing the session's per-graph artifact cache. The full per-component
+// report rides in Result.Report.
+func (s *Session) Auto(ctx context.Context, g *Graph) (Result, error) {
+	return s.AutoWith(ctx, g, AutoOptions{
+		Seed:        s.opt.Seed,
+		Spectral:    s.opt.Spectral,
+		Parallelism: s.opt.Parallelism,
+		Portfolio:   s.opt.Portfolio,
+		Budget:      s.opt.Budget,
+	})
+}
+
+// AutoWith is Auto with explicit engine options (the session contributes
+// its artifact cache, and ctx overrides opt.Context).
+func (s *Session) AutoWith(ctx context.Context, g *Graph, opt AutoOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt.Context = ctx
+	if opt.Cache == nil {
+		opt.Cache = s.cache
+	}
+	start := time.Now()
+	p, rep, err := pipeline.Auto(g, opt)
+	res := Result{
+		Perm:      p,
+		Algorithm: "AUTO",
+		Stats:     rep.Stats,
+		Report:    &rep,
+		Elapsed:   time.Since(start),
+	}
+	if rep.Eigensolves > 0 {
+		solve := rep.Solve
+		res.Solve = &solve
+	}
+	return res, err
+}
+
+// Fiedler computes the Fiedler vector of the connected graph g with the
+// session's eigensolver options, reporting the uniform solver statistics
+// (λ2 in Stats.Lambda). Repeated calls on the same graph are served from
+// the session's artifact cache — the eigensolve runs once.
+func (s *Session) Fiedler(ctx context.Context, g *Graph) ([]float64, SolveStats, error) {
+	return s.fiedler(ctx, g, s.spectral())
+}
+
+func (s *Session) fiedler(ctx context.Context, g *Graph, opt core.Options) ([]float64, SolveStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ws := scratch.Get()
+	defer scratch.Put(ws)
+	// Caller-supplied operators bypass the cache for the same reason Do's
+	// do: the caller wants that exact instance driven, while cached
+	// artifacts install their own shared operator.
+	if s.cache != nil && opt.Operator == nil && opt.Multilevel.FinestOp == nil {
+		if a := s.cache.WholeIfConnected(g, opt); a != nil {
+			x, st, err := a.Fiedler(ctx, ws)
+			if x != nil {
+				// The memoized vector stays cache-owned; callers get a copy.
+				x = append([]float64(nil), x...)
+			}
+			return x, st, err
+		}
+	}
+	// No cache (or unspecified disconnected input): solve directly, exactly
+	// as the historical core path does.
+	return core.FiedlerConnectedWS(ctx, ws, g, opt)
+}
+
+// Reset drops the session's artifact cache, releasing every graph,
+// subgraph and eigenvector it was pinning. Useful when a long-lived
+// Session (including the DefaultSession behind the top-level shims) has
+// finished with a working set of graphs and the memory should go back to
+// the collector.
+func (s *Session) Reset() {
+	if s.cache != nil {
+		s.cache.Clear()
+	}
+}
