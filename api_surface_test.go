@@ -19,9 +19,20 @@ import (
 // committed by regenerating the golden with UPDATE_API_SURFACE=1:
 //
 //	UPDATE_API_SURFACE=1 go test -run TestPublicAPISurface .
+//
+// The daemon's typed client (package client) is public surface too and
+// gets the same treatment against testdata/api_surface_client.golden.
 func TestPublicAPISurface(t *testing.T) {
-	got := publicSurface(t, ".")
-	const golden = "testdata/api_surface.golden"
+	t.Run("root", func(t *testing.T) {
+		checkSurface(t, ".", "testdata/api_surface.golden")
+	})
+	t.Run("client", func(t *testing.T) {
+		checkSurface(t, "client", "testdata/api_surface_client.golden")
+	})
+}
+
+func checkSurface(t *testing.T, dir, golden string) {
+	got := publicSurface(t, dir)
 	if os.Getenv("UPDATE_API_SURFACE") != "" {
 		if err := os.WriteFile(golden, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,321 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	envred "repro"
+	"repro/client"
+	"repro/internal/service"
+)
+
+func newService(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	svc := service.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
+func TestOrderRoundTrip(t *testing.T) {
+	ts := newService(t, service.Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	g := envred.Grid(18, 14)
+
+	want, err := envred.NewSession(envred.SessionOptions{Seed: 9}).Order(ctx, g, envred.AlgRCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Order(ctx, g, client.OrderRequest{Algorithm: "rcm", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != envred.AlgRCM || res.N != g.N() {
+		t.Fatalf("got algorithm=%q n=%d", res.Algorithm, res.N)
+	}
+	if len(res.Perm) != len(want.Perm) {
+		t.Fatalf("perm length %d, want %d", len(res.Perm), len(want.Perm))
+	}
+	for i := range res.Perm {
+		if res.Perm[i] != want.Perm[i] {
+			t.Fatalf("perm[%d] = %d, local library says %d", i, res.Perm[i], want.Perm[i])
+		}
+	}
+	if res.Envelope.Esize != want.Stats.Esize || res.Envelope.Bandwidth != want.Stats.Bandwidth {
+		t.Fatalf("envelope %+v, want esize=%d bandwidth=%d", res.Envelope, want.Stats.Esize, want.Stats.Bandwidth)
+	}
+
+	// Same content again: the daemon interns by content, so this must hit.
+	res2, err := c.Order(ctx, envred.Grid(18, 14), client.OrderRequest{Algorithm: "rcm", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatal("repeat order of identical content should report cached=true")
+	}
+}
+
+func TestAPIKeyPlumbing(t *testing.T) {
+	ts := newService(t, service.Config{APIKeys: map[string]string{"hunter2": "ops"}})
+	ctx := context.Background()
+	g := envred.Path(8)
+
+	_, err := client.New(ts.URL).Order(ctx, g, client.OrderRequest{Algorithm: "rcm"})
+	var aerr *client.APIError
+	if !errors.As(err, &aerr) || aerr.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("keyless order: err %v, want 401 APIError", err)
+	}
+	if _, err := client.New(ts.URL, client.WithAPIKey("hunter2")).Order(ctx, g, client.OrderRequest{Algorithm: "rcm"}); err != nil {
+		t.Fatalf("keyed order: %v", err)
+	}
+}
+
+func TestAPIErrorDecoding(t *testing.T) {
+	ts := newService(t, service.Config{})
+	c := client.New(ts.URL)
+	_, err := c.Order(context.Background(), envred.Path(5), client.OrderRequest{Algorithm: "no-such-alg"})
+	var aerr *client.APIError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("err %v, want *APIError", err)
+	}
+	if aerr.StatusCode != http.StatusBadRequest || !strings.Contains(aerr.Message, "unknown algorithm") {
+		t.Fatalf("got %d %q", aerr.StatusCode, aerr.Message)
+	}
+}
+
+func TestJobFlow(t *testing.T) {
+	ts := newService(t, service.Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	g := envred.Grid(16, 13)
+
+	id, err := c.SubmitJob(ctx, g, client.OrderRequest{Algorithm: "sloan", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("empty job id")
+	}
+	st, err := c.JobStatus(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != id {
+		t.Fatalf("status id %q, want %q", st.ID, id)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	res, err := c.WaitJob(wctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != envred.AlgSloan || len(res.Perm) != g.N() {
+		t.Fatalf("job result %q, perm length %d", res.Algorithm, len(res.Perm))
+	}
+
+	_, err = c.JobStatus(ctx, "no-such-job")
+	var aerr *client.APIError
+	if !errors.As(err, &aerr) || aerr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: err %v, want 404 APIError", err)
+	}
+}
+
+func TestAlgorithmsAndFiedler(t *testing.T) {
+	ts := newService(t, service.Config{Seed: 1})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	algs, err := c.Algorithms(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range algs {
+		if a == "AUTO" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("AUTO missing from %v", algs)
+	}
+
+	g := envred.Grid(11, 9)
+	fr, err := c.Fiedler(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.N != g.N() || len(fr.Vector) != g.N() || fr.Lambda2 <= 0 {
+		t.Fatalf("fiedler n=%d len=%d lambda2=%g", fr.N, len(fr.Vector), fr.Lambda2)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	ts := newService(t, service.Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "envorderd_orders_total") {
+		t.Fatalf("metrics text missing order counter:\n%s", text)
+	}
+}
+
+// TestRetryOnTransient5xx: 502s are retried with backoff until the
+// daemon recovers.
+func TestRetryOnTransient5xx(t *testing.T) {
+	var calls atomic.Int32
+	real := newService(t, service.Config{})
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"upstream hiccup"}`, http.StatusBadGateway)
+			return
+		}
+		// Recovered: proxy to a real service.
+		req, _ := http.NewRequestWithContext(r.Context(), r.Method, real.URL+r.URL.RequestURI(), r.Body)
+		req.Header = r.Header
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	defer flaky.Close()
+
+	c := client.New(flaky.URL, client.WithRetries(3, time.Millisecond))
+	res, err := c.Order(context.Background(), envred.Path(10), client.OrderRequest{Algorithm: "rcm"})
+	if err != nil {
+		t.Fatalf("order through flaky front end: %v", err)
+	}
+	if len(res.Perm) != 10 {
+		t.Fatalf("perm length %d", len(res.Perm))
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+// TestRetryBudgetExhausted: a daemon that never recovers fails after
+// 1 + maxRetries attempts with the last error preserved in the chain.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"still down"}`, http.StatusGatewayTimeout)
+	}))
+	defer down.Close()
+
+	c := client.New(down.URL, client.WithRetries(2, time.Millisecond))
+	_, err := c.Order(context.Background(), envred.Path(4), client.OrderRequest{Algorithm: "rcm"})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (1 + 2 retries)", got)
+	}
+	var aerr *client.APIError
+	if !errors.As(err, &aerr) || aerr.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("err %v, want wrapped 504 APIError", err)
+	}
+}
+
+// TestNoRetryOnFinalReplies: plain 500s and best-so-far 503s are final —
+// exactly one attempt each.
+func TestNoRetryOnFinalReplies(t *testing.T) {
+	cases := []struct {
+		name      string
+		status    int
+		body      string
+		bestSoFar bool
+	}{
+		{name: "plain 500", status: http.StatusInternalServerError, body: `{"error":"kaput"}`},
+		{name: "best-so-far 503", status: http.StatusServiceUnavailable,
+			body: `{"error":"ordering timed out","best_so_far":true,"perm":[0,1,2,3]}`, bestSoFar: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int32
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(tc.status)
+				w.Write([]byte(tc.body))
+			}))
+			defer srv.Close()
+
+			c := client.New(srv.URL, client.WithRetries(3, time.Millisecond))
+			_, err := c.Order(context.Background(), envred.Path(4), client.OrderRequest{Algorithm: "rcm"})
+			var aerr *client.APIError
+			if !errors.As(err, &aerr) || aerr.StatusCode != tc.status {
+				t.Fatalf("err %v, want %d APIError", err, tc.status)
+			}
+			if aerr.BestSoFar != tc.bestSoFar {
+				t.Fatalf("BestSoFar = %v, want %v", aerr.BestSoFar, tc.bestSoFar)
+			}
+			if tc.bestSoFar && len(aerr.Perm) != 4 {
+				t.Fatalf("best-so-far perm %v", aerr.Perm)
+			}
+			if got := calls.Load(); got != 1 {
+				t.Fatalf("%d attempts, want exactly 1 (no retry on final replies)", got)
+			}
+		})
+	}
+}
+
+func TestJobResultNotReady(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"abc","status":"running"}`))
+	}))
+	defer srv.Close()
+	_, err := client.New(srv.URL).JobResult(context.Background(), "abc")
+	if !errors.Is(err, client.ErrJobNotReady) {
+		t.Fatalf("err %v, want ErrJobNotReady", err)
+	}
+}
+
+func TestNonJSONErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "teapot says no", http.StatusTeapot)
+	}))
+	defer srv.Close()
+	_, err := client.New(srv.URL).Algorithms(context.Background())
+	var aerr *client.APIError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("err %v, want *APIError", err)
+	}
+	if aerr.StatusCode != http.StatusTeapot || !strings.Contains(aerr.Message, "teapot says no") {
+		t.Fatalf("got %d %q", aerr.StatusCode, aerr.Message)
+	}
+}

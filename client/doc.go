@@ -1,0 +1,23 @@
+// Package client is the typed Go client of the envorderd ordering
+// daemon (cmd/envorderd): the root package's Session API over HTTP/JSON,
+// from the consumer side.
+//
+// A Client is safe for concurrent use, retries transient 5xx replies and
+// network errors with exponential backoff (request bodies are buffered so
+// replays are safe), and plumbs context through every call. Typical use:
+//
+//	c := client.New("http://localhost:8080", client.WithAPIKey("secret"))
+//	res, err := c.Order(ctx, g, client.OrderRequest{Algorithm: "spectral", Seed: 1})
+//	// res.Perm, res.Envelope.Esize, res.Solve ...
+//
+// Large matrices go through the async job API — SubmitJob returns an id,
+// WaitJob polls until the ordering is ready:
+//
+//	id, _ := c.SubmitJob(ctx, g, client.OrderRequest{Algorithm: "auto"})
+//	res, err := c.WaitJob(ctx, id, 500*time.Millisecond)
+//
+// Server-side failures surface as *APIError. A 503 whose ordering timed
+// out mid-eigensolve may still carry a usable best-so-far permutation
+// (APIError.BestSoFar, APIError.Perm) — the service's answer for callers
+// with hard latency budgets; such replies are not retried.
+package client

@@ -1,0 +1,220 @@
+//go:build integration
+
+// Integration tests for the envorderd daemon, run with
+//
+//	go test -tags integration ./client/...
+//
+// When ENVORDERD_ADDR is set (host:port or full URL) the tests target
+// that live daemon — the CI integration job builds cmd/envorderd, starts
+// it, and points this suite at it. ENVORDERD_API_KEY carries the key for
+// daemons running with -api-keys. Without ENVORDERD_ADDR the suite spins
+// an in-process server so the tier also runs on a bare checkout.
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	envred "repro"
+	"repro/client"
+	"repro/internal/service"
+)
+
+// integrationTarget resolves the daemon under test.
+func integrationTarget(t *testing.T) *client.Client {
+	t.Helper()
+	var opts []client.Option
+	if key := os.Getenv("ENVORDERD_API_KEY"); key != "" {
+		opts = append(opts, client.WithAPIKey(key))
+	}
+	if addr := os.Getenv("ENVORDERD_ADDR"); addr != "" {
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		c := client.New(addr, opts...)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := c.Health(ctx); err != nil {
+			t.Fatalf("daemon at %s not healthy: %v", addr, err)
+		}
+		return c
+	}
+	svc := service.New(service.Config{Seed: 1})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+	return client.New(ts.URL, opts...)
+}
+
+func TestIntegrationOrderMatchesLocal(t *testing.T) {
+	c := integrationTarget(t)
+	ctx := context.Background()
+	g := envred.Grid(40, 30)
+	sess := envred.NewSession(envred.SessionOptions{Seed: 7})
+
+	for _, alg := range []string{envred.AlgRCM, envred.AlgSloan, envred.AlgSpectral} {
+		want, err := sess.Do(ctx, g, alg, envred.OrderRequest{Seed: 7})
+		if err != nil {
+			t.Fatalf("%s local: %v", alg, err)
+		}
+		got, err := c.Order(ctx, g, client.OrderRequest{Algorithm: alg, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s remote: %v", alg, err)
+		}
+		if got.Algorithm != alg {
+			t.Fatalf("served %q, want %q", got.Algorithm, alg)
+		}
+		if len(got.Perm) != len(want.Perm) {
+			t.Fatalf("%s: perm length %d, want %d", alg, len(got.Perm), len(want.Perm))
+		}
+		for i := range got.Perm {
+			if got.Perm[i] != want.Perm[i] {
+				t.Fatalf("%s: remote ordering diverges from local at %d: %d vs %d",
+					alg, i, got.Perm[i], want.Perm[i])
+			}
+		}
+		if got.Envelope.Esize != want.Stats.Esize {
+			t.Fatalf("%s: esize %d, want %d", alg, got.Envelope.Esize, want.Stats.Esize)
+		}
+	}
+}
+
+func TestIntegrationJobLifecycle(t *testing.T) {
+	c := integrationTarget(t)
+	ctx := context.Background()
+	g := envred.Grid(35, 28)
+
+	id, err := c.SubmitJob(ctx, g, client.OrderRequest{Algorithm: "auto", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	res, err := c.WaitJob(wctx, id, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "AUTO" || len(res.Perm) != g.N() {
+		t.Fatalf("job result %q, perm length %d", res.Algorithm, len(res.Perm))
+	}
+
+	want, err := envred.NewSession(envred.SessionOptions{Seed: 1}).AutoWith(ctx, g, envred.AutoOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Perm {
+		if res.Perm[i] != want.Perm[i] {
+			t.Fatalf("async AUTO diverges from local at %d: %d vs %d", i, res.Perm[i], want.Perm[i])
+		}
+	}
+}
+
+func TestIntegrationFiedler(t *testing.T) {
+	c := integrationTarget(t)
+	ctx := context.Background()
+	g := envred.Grid(25, 20)
+
+	fr, err := c.Fiedler(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.N != g.N() || len(fr.Vector) != g.N() {
+		t.Fatalf("fiedler n=%d vector length %d, want %d", fr.N, len(fr.Vector), g.N())
+	}
+	if fr.Lambda2 <= 0 || fr.Lambda2 > 1 {
+		t.Fatalf("lambda2 = %g, want a small positive algebraic connectivity", fr.Lambda2)
+	}
+	if fr.Solve == nil || fr.Solve.MatVecs == 0 {
+		t.Fatalf("solve stats missing: %+v", fr.Solve)
+	}
+}
+
+// TestIntegrationConcurrentLoad is the in-suite cousin of cmd/loadgen:
+// 200 concurrent orderings over a handful of distinct graphs and
+// algorithms, zero errors tolerated, identical requests must agree.
+func TestIntegrationConcurrentLoad(t *testing.T) {
+	c := integrationTarget(t)
+	ctx := context.Background()
+	graphs := []*envred.Graph{
+		envred.Grid(30, 25), envred.Grid(31, 25), envred.Grid(32, 25), envred.Grid(33, 25),
+	}
+	algs := []string{"rcm", "sloan", "spectral"}
+	const n = 200
+
+	perms := make([]envred.Perm, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := graphs[i%len(graphs)]
+			res, err := c.Order(ctx, g, client.OrderRequest{Algorithm: algs[i%len(algs)], Seed: 5})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(res.Perm) != g.N() {
+				errs[i] = fmt.Errorf("perm length %d, want %d", len(res.Perm), g.N())
+				return
+			}
+			perms[i] = res.Perm
+		}(i)
+	}
+	wg.Wait()
+
+	failures := 0
+	for i, err := range errs {
+		if err != nil {
+			failures++
+			if failures <= 5 {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}
+	}
+	if failures > 0 {
+		t.Fatalf("%d/%d concurrent orderings failed (want 0)", failures, n)
+	}
+	// Identical (graph, algorithm) pairs repeat every len(graphs)*len(algs)
+	// requests; ordering is deterministic, so their permutations must match.
+	stride := len(graphs) * len(algs)
+	for i := stride; i < n; i++ {
+		a, b := perms[i-stride], perms[i]
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("requests %d and %d (same graph+algorithm) disagree at %d", i-stride, i, k)
+			}
+		}
+	}
+}
+
+func TestIntegrationMetricsScrape(t *testing.T) {
+	c := integrationTarget(t)
+	ctx := context.Background()
+
+	if _, err := c.Order(ctx, envred.Grid(22, 17), client.OrderRequest{Algorithm: "rcm"}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"envorderd_orders_total", "envorderd_cache_hits_total",
+		"envorderd_cache_misses_total", "envorderd_order_seconds_count",
+	} {
+		if !strings.Contains(text, name) {
+			t.Fatalf("metrics scrape missing %s:\n%.500s", name, text)
+		}
+	}
+}

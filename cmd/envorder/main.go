@@ -24,6 +24,14 @@
 // (scheme, matvecs, RQI iterations, hierarchy shape, convergence) and —
 // for -method auto — the full per-candidate portfolio report.
 //
+// With -remote URL the ordering runs on an envorderd daemon instead of in
+// process: the graph is loaded locally, shipped over the typed client
+// (repro/client), and the daemon's permutation and envelope parameters are
+// reported in the usual formats (-api-key authenticates against keyed
+// daemons; -budget becomes the server-side ordering timeout). -spy, -out
+// and -stats json work as usual; -weighted, -bounds, -portfolio and
+// -parallel are local-only.
+//
 // Example:
 //
 //	envorder -problem BARTH4 -method spectral -scale 0.5
@@ -31,12 +39,14 @@
 //	envorder -mm matrix.mtx -method auto -portfolio rcm,sloan,spectral
 //	envorder -mm matrix.mtx -method auto -stats json | jq .portfolio.Solve
 //	envorder -mm matrix.mtx -alg gk -out perm.txt
+//	envorder -mm matrix.mtx -method spectral -remote http://localhost:8080
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +56,7 @@ import (
 	"time"
 
 	envred "repro"
+	"repro/client"
 	"repro/internal/envelope"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -73,6 +84,8 @@ func main() {
 		spyFlag   = flag.Bool("spy", false, "print an ASCII spy plot of the reordered matrix")
 		weighted  = flag.Bool("weighted", false, "with -mm and -alg spectral: use matrix values as Laplacian weights")
 		bounds    = flag.Bool("bounds", false, "print the Theorem 2.2 envelope lower bound vs the achieved envelope")
+		remote    = flag.String("remote", "", "order on an envorderd daemon at this base URL instead of in process")
+		apiKey    = flag.String("api-key", "", "API key for -remote daemons running with -api-keys")
 	)
 	flag.Parse()
 
@@ -97,6 +110,16 @@ func main() {
 	}
 	if strings.EqualFold(*stats, "json") && (*spyFlag || *bounds) {
 		log.Fatal("-stats json replaces the text report and cannot be combined with -spy or -bounds")
+	}
+	if *remote != "" {
+		switch {
+		case *weighted:
+			log.Fatal("-weighted is local-only (the daemon orders the shipped pattern)")
+		case *bounds:
+			log.Fatal("-bounds is local-only")
+		case *portfolio != "" || *parallel != 0:
+			log.Fatal("-portfolio and -parallel are local-only; the daemon picks its own portfolio settings")
+		}
 	}
 
 	if *list {
@@ -143,6 +166,11 @@ func main() {
 		name = *mmFile + " (weighted)"
 	default:
 		g, name = loadGraph(*mmFile, *problem, *grid, *scale, *seed)
+	}
+
+	if *remote != "" {
+		runRemote(g, name, *remote, *apiKey, *method, *seed, *budget, *stats, *spyFlag, *out)
+		return
 	}
 
 	start := time.Now()
@@ -218,6 +246,68 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("permutation written to %s", *out)
+	}
+}
+
+// runRemote ships the loaded graph to an envorderd daemon through the
+// typed client and reports the daemon's answer in the usual formats.
+func runRemote(g *graph.Graph, name, baseURL, apiKey, method string, seed int64, budget time.Duration, stats string, spyFlag bool, out string) {
+	opts := []client.Option{}
+	if apiKey != "" {
+		opts = append(opts, client.WithAPIKey(apiKey))
+	}
+	c := client.New(baseURL, opts...)
+	res, err := c.Order(context.Background(), g, client.OrderRequest{
+		Algorithm: method,
+		Seed:      seed,
+		Timeout:   budget,
+	})
+	if err != nil {
+		var aerr *client.APIError
+		if errors.As(err, &aerr) && aerr.BestSoFar {
+			log.Fatalf("%v (rerun with a larger -budget, or accept the partial ordering programmatically via repro/client)", err)
+		}
+		log.Fatal(err)
+	}
+	p := res.Perm
+	if err := p.Check(); err != nil {
+		log.Fatalf("daemon returned an invalid permutation: %v", err)
+	}
+	s := envelope.Stats{
+		Esize:         res.Envelope.Esize,
+		Ework:         res.Envelope.Ework,
+		Bandwidth:     res.Envelope.Bandwidth,
+		OneSum:        res.Envelope.OneSum,
+		TwoSum:        res.Envelope.TwoSum,
+		MaxFrontwidth: res.Envelope.MaxFrontwidth,
+	}
+	if strings.EqualFold(stats, "json") {
+		if err := writeStatsJSON(os.Stdout, name+" (remote)", g, res.Algorithm,
+			time.Duration(res.ElapsedMS*float64(time.Millisecond)), s, nil, nil); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("matrix    : %s (n=%d, nnz=%d) via %s\n", name, g.N(), g.Nonzeros(), baseURL)
+		fmt.Printf("algorithm : %s (%.3fs server-side, cached=%v)\n", res.Algorithm, res.ElapsedMS/1000, res.Cached)
+		fmt.Printf("envelope  : %d\n", s.Esize)
+		fmt.Printf("work Σr²  : %d\n", s.Ework)
+		fmt.Printf("bandwidth : %d\n", s.Bandwidth)
+		fmt.Printf("1-sum     : %d\n", s.OneSum)
+		fmt.Printf("2-sum     : %d\n", s.TwoSum)
+		fmt.Printf("max front : %d\n", s.MaxFrontwidth)
+		if res.Solve != nil {
+			fmt.Printf("solver    : %s (matvecs %d, spmv workers %d)\n",
+				res.Solve.Scheme, res.Solve.MatVecs, res.Solve.Workers)
+		}
+		if spyFlag {
+			fmt.Println(envred.SpyASCII(g, p, 48))
+		}
+	}
+	if out != "" {
+		if err := writePerm(out, p); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("permutation written to %s", out)
 	}
 }
 

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Job states, as reported by GET /v1/jobs/{id}.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// job is one async ordering: submitted via POST /v1/jobs, executed on the
+// worker pool, polled until terminal.
+type job struct {
+	id      string
+	tenant  *tenant
+	payload *orderPayload
+	created time.Time
+
+	mu       sync.Mutex
+	state    string
+	started  time.Time
+	finished time.Time
+	resp     *orderResponse
+	fail     *apiError
+}
+
+// status snapshots the poll document under the job's lock.
+func (j *job) status() jobStatusJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := jobStatusJSON{
+		ID:        j.id,
+		Status:    j.state,
+		Algorithm: j.payload.algorithm,
+		N:         j.payload.g.N(),
+		CreatedMS: j.created.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		doc.StartedMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		doc.FinishedMS = j.finished.UnixMilli()
+	}
+	if j.fail != nil {
+		doc.Error = j.fail.Message
+	}
+	return doc
+}
+
+type jobStatusJSON struct {
+	ID         string `json:"id"`
+	Status     string `json:"status"`
+	Algorithm  string `json:"algorithm"`
+	N          int    `json:"n"`
+	CreatedMS  int64  `json:"created_unix_ms"`
+	StartedMS  int64  `json:"started_unix_ms,omitempty"`
+	FinishedMS int64  `json:"finished_unix_ms,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// jobStore indexes jobs by id and evicts the oldest finished jobs beyond
+// the retention bound (queued/running jobs are never evicted).
+type jobStore struct {
+	mu          sync.Mutex
+	byID        map[string]*job
+	finished    []string // eviction order
+	maxRetained int
+}
+
+func newJobStore(maxRetained int) *jobStore {
+	return &jobStore{byID: map[string]*job{}, maxRetained: maxRetained}
+}
+
+func (st *jobStore) add(j *job) {
+	st.mu.Lock()
+	st.byID[j.id] = j
+	st.mu.Unlock()
+}
+
+// get returns the job only when it belongs to tnt: jobs are invisible
+// across tenants (404, not 403, to avoid leaking job-id existence).
+func (st *jobStore) get(id string, tnt *tenant) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.byID[id]
+	if !ok || j.tenant != tnt {
+		return nil, false
+	}
+	return j, true
+}
+
+func (st *jobStore) markFinished(j *job) {
+	st.mu.Lock()
+	st.finished = append(st.finished, j.id)
+	for len(st.finished) > st.maxRetained {
+		delete(st.byID, st.finished[0])
+		st.finished = st.finished[1:]
+	}
+	st.mu.Unlock()
+}
+
+func (st *jobStore) running() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.byID {
+		j.mu.Lock()
+		if j.state == jobRunning || j.state == jobQueued {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+func newJobID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// submitJob enqueues a job, failing fast when the service is shutting
+// down or the queue is full.
+func (s *Server) submitJob(j *job) *apiError {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	if s.closed {
+		return &apiError{Status: http.StatusServiceUnavailable, Message: "service is shutting down"}
+	}
+	select {
+	case s.jobCh <- j:
+		s.jobs.add(j)
+		s.m.jobsQueued.add(1)
+		return nil
+	default:
+		return &apiError{Status: http.StatusServiceUnavailable, Message: "job queue is full"}
+	}
+}
+
+// jobWorker drains the job queue until Shutdown closes it. Each job runs
+// under the server's base context (forced shutdown cancels it) plus the
+// job's own timeout; the ordering itself is bounded by the shared solve
+// pool inside runOrder.
+func (s *Server) jobWorker() {
+	defer s.workerWG.Done()
+	for j := range s.jobCh {
+		s.m.jobsQueued.add(-1)
+		j.mu.Lock()
+		j.state = jobRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+
+		ctx, cancel := s.baseCtx, context.CancelFunc(func() {})
+		if j.payload.timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, j.payload.timeout)
+		}
+		resp, fail := s.runOrder(ctx, j.tenant, j.payload)
+		cancel()
+
+		j.mu.Lock()
+		j.finished = time.Now()
+		if fail != nil {
+			j.state = jobFailed
+			j.fail = fail
+			s.m.jobs.inc(jobFailed)
+		} else {
+			j.state = jobDone
+			j.resp = resp
+			s.m.jobs.inc(jobDone)
+		}
+		j.mu.Unlock()
+		s.jobs.markFinished(j)
+		s.logf("job %s finished state=%s tenant=%s algorithm=%s n=%d", j.id, j.state, j.tenant.name, j.payload.algorithm, j.payload.g.N())
+	}
+}

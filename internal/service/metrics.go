@@ -1,0 +1,201 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the daemon's hand-rolled Prometheus registry: the handful of
+// instruments /metrics exposes, rendered in the text exposition format.
+// No external client library — counters are atomics, histograms take one
+// short mutex per observation, and rendering sorts label sets so scrapes
+// are deterministic.
+type metrics struct {
+	// orders by {algorithm,status}: status ∈ ok|timeout|invalid|error.
+	orders *counterVec
+	// graph-cache (interner) traffic: a hit means the request's graph was
+	// already resident, so the tenant Session's artifact cache (eigensolve,
+	// roots, subgraphs) applies to it.
+	cacheHits   counter
+	cacheMisses counter
+	// jobs by terminal {status}: done|failed.
+	jobs *counterVec
+	// latency distributions, in seconds. eigensolve observes only orders
+	// that actually ran a fresh eigensolve (spectral-family algorithm on a
+	// non-interned graph), so it tracks solver latency, not cache serving.
+	orderSeconds *histogram
+	eigenSeconds *histogram
+	// live state.
+	inFlight   gauge
+	jobsQueued gauge
+}
+
+func newMetrics() *metrics {
+	buckets := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+	return &metrics{
+		orders:       newCounterVec("algorithm", "status"),
+		jobs:         newCounterVec("status"),
+		orderSeconds: newHistogram(buckets),
+		eigenSeconds: newHistogram(buckets),
+	}
+}
+
+// writeTo renders every instrument in Prometheus text format.
+func (m *metrics) writeTo(w io.Writer) {
+	writeHeader(w, "envorderd_orders_total", "counter", "Orderings served, by algorithm and terminal status.")
+	m.orders.writeTo(w, "envorderd_orders_total")
+	writeHeader(w, "envorderd_cache_hits_total", "counter", "Order/fiedler requests whose graph was already resident in the tenant graph cache.")
+	fmt.Fprintf(w, "envorderd_cache_hits_total %d\n", m.cacheHits.value())
+	writeHeader(w, "envorderd_cache_misses_total", "counter", "Order/fiedler requests that interned a new graph.")
+	fmt.Fprintf(w, "envorderd_cache_misses_total %d\n", m.cacheMisses.value())
+	writeHeader(w, "envorderd_jobs_total", "counter", "Async jobs finished, by terminal status.")
+	m.jobs.writeTo(w, "envorderd_jobs_total")
+	writeHeader(w, "envorderd_order_seconds", "histogram", "End-to-end ordering latency (queueing included).")
+	m.orderSeconds.writeTo(w, "envorderd_order_seconds")
+	writeHeader(w, "envorderd_eigensolve_seconds", "histogram", "Latency of orderings that ran a fresh eigensolve (cold graph, spectral-family algorithm).")
+	m.eigenSeconds.writeTo(w, "envorderd_eigensolve_seconds")
+	writeHeader(w, "envorderd_in_flight", "gauge", "Orderings currently executing or queued on the solve pool.")
+	fmt.Fprintf(w, "envorderd_in_flight %d\n", m.inFlight.value())
+	writeHeader(w, "envorderd_jobs_queued", "gauge", "Async jobs waiting for a worker.")
+	fmt.Fprintf(w, "envorderd_jobs_queued %d\n", m.jobsQueued.value())
+}
+
+func writeHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// counter ---------------------------------------------------------------------
+
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) inc()         { c.v.Add(1) }
+func (c *counter) value() int64 { return c.v.Load() }
+
+// gauge -----------------------------------------------------------------------
+
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) add(d int64)  { g.v.Add(d) }
+func (g *gauge) value() int64 { return g.v.Load() }
+
+// counterVec ------------------------------------------------------------------
+
+// counterVec is a labeled counter family; the key is the label values
+// joined in declaration order.
+type counterVec struct {
+	labels []string
+	mu     sync.Mutex
+	vals   map[string]*counter
+}
+
+func newCounterVec(labels ...string) *counterVec {
+	return &counterVec{labels: labels, vals: map[string]*counter{}}
+}
+
+func (v *counterVec) inc(labelValues ...string) {
+	if len(labelValues) != len(v.labels) {
+		panic("service: counterVec label arity mismatch")
+	}
+	key := strings.Join(labelValues, "\x00")
+	v.mu.Lock()
+	c, ok := v.vals[key]
+	if !ok {
+		c = &counter{}
+		v.vals[key] = c
+	}
+	v.mu.Unlock()
+	c.inc()
+}
+
+// sum totals the counters whose label values satisfy every given
+// {label: value} constraint (empty constraints total the family).
+func (v *counterVec) sum(match map[string]string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var total int64
+	for key, c := range v.vals {
+		parts := strings.Split(key, "\x00")
+		ok := true
+		for i, lab := range v.labels {
+			if want, has := match[lab]; has && parts[i] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			total += c.value()
+		}
+	}
+	return total
+}
+
+func (v *counterVec) writeTo(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts := strings.Split(k, "\x00")
+		pairs := make([]string, len(parts))
+		for i, lab := range v.labels {
+			pairs[i] = fmt.Sprintf("%s=%q", lab, parts[i])
+		}
+		lines = append(lines, fmt.Sprintf("%s{%s} %d", name, strings.Join(pairs, ","), v.vals[k].value()))
+	}
+	v.mu.Unlock()
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// histogram -------------------------------------------------------------------
+
+// histogram is a fixed-bucket Prometheus histogram (cumulative buckets,
+// +Inf, _sum and _count on render).
+type histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+func (h *histogram) writeTo(w io.Writer, name string) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(b), counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", f), "0"), ".")
+}

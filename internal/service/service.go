@@ -1,0 +1,281 @@
+// Package service implements the envorderd ordering daemon: the Session
+// API of the root package served over HTTP/JSON.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/order              synchronous ordering (graph in body)
+//	POST /v1/jobs               submit an async ordering job → job id
+//	GET  /v1/jobs/{id}          poll job status
+//	GET  /v1/jobs/{id}/result   fetch the finished job's ordering
+//	GET  /v1/algorithms         registered algorithm names
+//	GET|POST /v1/fiedler        Fiedler vector + λ2 of a connected graph
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text exposition
+//
+// Graphs arrive either as a Matrix Market body (any non-JSON content
+// type; algorithm/seed/timeout in query parameters) or as a JSON document
+// carrying an adjacency list or inline Matrix Market text. See
+// parseOrderPayload for the exact wire format.
+//
+// A Server multiplexes any number of tenants: in open mode (no API keys
+// configured) every request shares one tenant; with Config.APIKeys set,
+// requests authenticate with Authorization: Bearer or X-API-Key and each
+// tenant owns an independent Session (its own LRU artifact cache), an
+// independent graph interner and an independent concurrency budget, so one
+// tenant's burst cannot evict another's cached eigensolves or starve its
+// slots. Actual compute is bounded by one global solve pool shared with
+// the async job workers; request timeouts ride the library's context
+// cancellation path, so a deadline that expires mid-eigensolve still
+// yields the best-so-far fallback ordering (HTTP 503, best_so_far=true).
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	envred "repro"
+)
+
+// Config parameterizes a Server. The zero value is a usable open-mode
+// daemon with defaults noted on each field.
+type Config struct {
+	// APIKeys maps API key → tenant name. Empty means open mode: no
+	// authentication, one shared tenant. Several keys may share a tenant
+	// name (they share its Session, cache and budget).
+	APIKeys map[string]string
+	// Workers bounds the solve pool: at most this many orderings execute
+	// concurrently (sync requests and async jobs combined), each reusing
+	// the library's pooled pipeline workspaces. 0 = GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the async job queue; submissions beyond it are
+	// rejected with 503. 0 = 256.
+	QueueDepth int
+	// MaxJobsRetained bounds finished jobs kept for result polling;
+	// oldest finished jobs are evicted first. 0 = 1024.
+	MaxJobsRetained int
+	// MaxBodyBytes caps request bodies; larger requests get 413.
+	// 0 = 32 MiB.
+	MaxBodyBytes int64
+	// DefaultTimeout applies to orderings whose request carries no
+	// explicit timeout. 0 = no server-side timeout.
+	DefaultTimeout time.Duration
+	// CacheGraphs sizes each tenant's Session artifact cache and graph
+	// interner. 0 = envred.DefaultCacheGraphs.
+	CacheGraphs int
+	// TenantConcurrency bounds each tenant's in-flight orderings (they
+	// queue, honoring the request context, rather than fail). 0 = 4×the
+	// solve pool, < 0 = unlimited.
+	TenantConcurrency int
+	// Seed is the default ordering seed when a request carries none.
+	Seed int64
+	// Logf, when non-nil, receives one line per request and lifecycle
+	// event (log.Printf-compatible).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 256
+}
+
+func (c *Config) maxJobsRetained() int {
+	if c.MaxJobsRetained > 0 {
+		return c.MaxJobsRetained
+	}
+	return 1024
+}
+
+func (c *Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 32 << 20
+}
+
+func (c *Config) cacheGraphs() int {
+	if c.CacheGraphs > 0 {
+		return c.CacheGraphs
+	}
+	return envred.DefaultCacheGraphs
+}
+
+// tenant is one isolated consumer of the service: its own Session (LRU
+// artifact cache), graph interner and concurrency budget.
+type tenant struct {
+	name    string
+	sess    *envred.Session
+	graphs  *interner
+	sem     chan struct{} // nil = unlimited
+	started time.Time
+}
+
+// Server is the ordering service. Create with New, expose via Handler
+// (behind any net/http server), and stop with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	m     *metrics
+	start time.Time
+
+	// solveSem is the global bounded solve pool.
+	solveSem chan struct{}
+
+	tenantMu sync.Mutex
+	byName   map[string]*tenant
+	byKey    map[string]*tenant
+	open     *tenant // open-mode tenant; nil when APIKeys are configured
+
+	jobs *jobStore
+
+	// lifecycle: baseCtx cancels running work on forced shutdown; jobMu
+	// guards the closed → jobCh transition so submits never race close.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	jobMu      sync.Mutex
+	closed     bool
+	jobCh      chan *job
+	workerWG   sync.WaitGroup
+}
+
+// New builds a Server and starts its job workers.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		m:        newMetrics(),
+		start:    time.Now(),
+		solveSem: make(chan struct{}, cfg.workers()),
+		byName:   map[string]*tenant{},
+		byKey:    map[string]*tenant{},
+		jobs:     newJobStore(cfg.maxJobsRetained()),
+		jobCh:    make(chan *job, cfg.queueDepth()),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if len(cfg.APIKeys) == 0 {
+		s.open = s.newTenant("default")
+	} else {
+		for key, name := range cfg.APIKeys {
+			tnt, ok := s.byName[name]
+			if !ok {
+				tnt = s.newTenant(name)
+				s.byName[name] = tnt
+			}
+			s.byKey[key] = tnt
+		}
+	}
+	s.routes()
+	for i := 0; i < cfg.workers(); i++ {
+		s.workerWG.Add(1)
+		go s.jobWorker()
+	}
+	return s
+}
+
+func (s *Server) newTenant(name string) *tenant {
+	t := &tenant{
+		name:    name,
+		sess:    envred.NewSession(envred.SessionOptions{Seed: s.cfg.Seed, CacheGraphs: s.cfg.cacheGraphs()}),
+		graphs:  newInterner(s.cfg.cacheGraphs()),
+		started: time.Now(),
+	}
+	budget := s.cfg.TenantConcurrency
+	if budget == 0 {
+		budget = 4 * s.cfg.workers()
+	}
+	if budget > 0 {
+		t.sem = make(chan struct{}, budget)
+	}
+	return t
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/order", s.auth(s.handleOrder))
+	s.mux.HandleFunc("POST /v1/jobs", s.auth(s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.auth(s.handleJobStatus))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth(s.handleJobResult))
+	s.mux.HandleFunc("GET /v1/algorithms", s.auth(s.handleAlgorithms))
+	s.mux.HandleFunc("GET /v1/fiedler", s.auth(s.handleFiedler))
+	s.mux.HandleFunc("POST /v1/fiedler", s.auth(s.handleFiedler))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// auth resolves the request's tenant and rejects unauthenticated requests
+// when API keys are configured. The tenant rides to handlers via the
+// request context.
+func (s *Server) auth(h func(http.ResponseWriter, *http.Request, *tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tnt := s.open
+		if tnt == nil {
+			key := r.Header.Get("X-API-Key")
+			if key == "" {
+				if auth := r.Header.Get("Authorization"); len(auth) > 7 && auth[:7] == "Bearer " {
+					key = auth[7:]
+				}
+			}
+			if key == "" {
+				writeError(w, &apiError{Status: http.StatusUnauthorized, Message: "missing API key (use Authorization: Bearer <key> or X-API-Key)"})
+				return
+			}
+			var ok bool
+			s.tenantMu.Lock()
+			tnt, ok = s.byKey[key]
+			s.tenantMu.Unlock()
+			if !ok {
+				writeError(w, &apiError{Status: http.StatusUnauthorized, Message: "unknown API key"})
+				return
+			}
+		}
+		h(w, r, tnt)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Shutdown drains the service: no new jobs are accepted, queued and
+// running jobs are given until ctx expires to finish, then any still
+// running are cancelled through their contexts (their orderings return
+// best-so-far fallbacks internally and the jobs record the cancellation).
+// The HTTP listener is owned by the caller and should be shut down first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.jobMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobCh)
+	}
+	s.jobMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // force: cancel in-flight work, then wait it out
+		<-done
+		return fmt.Errorf("service: shutdown grace expired, %d job(s) cancelled: %w", s.jobs.running(), ctx.Err())
+	}
+}
