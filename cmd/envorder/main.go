@@ -20,9 +20,16 @@
 // order top to bottom).
 //
 // With -stats json the text report is replaced by a machine-readable JSON
-// document carrying the envelope parameters, the eigensolver statistics
-// (scheme, matvecs, RQI iterations, hierarchy shape, convergence) and —
-// for -method auto — the full per-candidate portfolio report.
+// document carrying the envelope parameters, the number of eigensolves the
+// run actually performed, the eigensolver statistics (scheme, matvecs, RQI
+// iterations, hierarchy shape, convergence) and — for -method auto — the
+// full per-candidate portfolio report.
+//
+// With -store URL the run reads and writes a persistent artifact store
+// (fs:///path?max_bytes=N on disk, mem:// in process): eigensolves are
+// keyed by matrix content and seed, so a second run on the same matrix
+// performs zero solves and -stats json reports the store traffic
+// (hits/misses/puts/errors) alongside eigensolves=0.
 //
 // With -remote URL the ordering runs on an envorderd daemon instead of in
 // process: the graph is loaded locally, shipped over the typed client
@@ -39,6 +46,7 @@
 //	envorder -mm matrix.mtx -method auto -portfolio rcm,sloan,spectral
 //	envorder -mm matrix.mtx -method auto -stats json | jq .portfolio.Solve
 //	envorder -mm matrix.mtx -alg gk -out perm.txt
+//	envorder -mm matrix.mtx -method spectral -store fs:///var/cache/envorder
 //	envorder -mm matrix.mtx -method spectral -remote http://localhost:8080
 package main
 
@@ -57,6 +65,7 @@ import (
 
 	envred "repro"
 	"repro/client"
+	"repro/internal/core"
 	"repro/internal/envelope"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -86,6 +95,7 @@ func main() {
 		bounds    = flag.Bool("bounds", false, "print the Theorem 2.2 envelope lower bound vs the achieved envelope")
 		remote    = flag.String("remote", "", "order on an envorderd daemon at this base URL instead of in process")
 		apiKey    = flag.String("api-key", "", "API key for -remote daemons running with -api-keys")
+		storeURL  = flag.String("store", "", "persistent artifact store URL (fs:///path?max_bytes=N, mem://): reuse eigensolves across runs")
 	)
 	flag.Parse()
 
@@ -119,6 +129,8 @@ func main() {
 			log.Fatal("-bounds is local-only")
 		case *portfolio != "" || *parallel != 0:
 			log.Fatal("-portfolio and -parallel are local-only; the daemon picks its own portfolio settings")
+		case *storeURL != "":
+			log.Fatal("-store is local-only; point the daemon itself at a store (envorderd -store)")
 		}
 	}
 
@@ -173,6 +185,17 @@ func main() {
 		return
 	}
 
+	var counted *envred.CountedStore
+	if *storeURL != "" {
+		st, err := envred.OpenStore(*storeURL)
+		if err != nil {
+			log.Fatalf("opening -store %s: %v", *storeURL, err)
+		}
+		defer st.Close()
+		counted = envred.NewCountedStore(st, nil)
+	}
+
+	solvesBefore := core.EigensolveCount()
 	start := time.Now()
 	var p perm.Perm
 	var info *envred.SpectralInfo
@@ -184,16 +207,17 @@ func main() {
 		}
 		p, info = wp, &winfo
 	} else {
-		p, info, report = computeOrdering(g, *method, *seed, *parallel, *budget, *portfolio)
+		p, info, report = computeOrdering(g, *method, *seed, *parallel, *budget, *portfolio, counted)
 	}
 	elapsed := time.Since(start)
+	solves := core.EigensolveCount() - solvesBefore
 
 	if err := p.Check(); err != nil {
 		log.Fatalf("internal error: invalid permutation: %v", err)
 	}
 	s := envelope.Compute(g, p)
 	if strings.EqualFold(*stats, "json") {
-		if err := writeStatsJSON(os.Stdout, name, g, *method, elapsed, s, info, report); err != nil {
+		if err := writeStatsJSON(os.Stdout, name, g, *method, elapsed, s, info, report, solves, counted); err != nil {
 			log.Fatal(err)
 		}
 		if *out != "" {
@@ -212,6 +236,11 @@ func main() {
 	fmt.Printf("1-sum     : %d\n", s.OneSum)
 	fmt.Printf("2-sum     : %d\n", s.TwoSum)
 	fmt.Printf("max front : %d\n", s.MaxFrontwidth)
+	if counted != nil {
+		st := counted.Stats()
+		fmt.Printf("store     : hits=%d misses=%d puts=%d errors=%d (eigensolves %d)\n",
+			st.Hits, st.Misses, st.Puts, st.Errors, solves)
+	}
 	if info != nil {
 		fmt.Printf("lambda2   : %.6g (residual %.2e, multilevel=%v, reversed=%v)\n",
 			info.Lambda2, info.Residual, info.Multilevel, info.Reversed)
@@ -283,7 +312,7 @@ func runRemote(g *graph.Graph, name, baseURL, apiKey, method string, seed int64,
 	}
 	if strings.EqualFold(stats, "json") {
 		if err := writeStatsJSON(os.Stdout, name+" (remote)", g, res.Algorithm,
-			time.Duration(res.ElapsedMS*float64(time.Millisecond)), s, nil, nil); err != nil {
+			time.Duration(res.ElapsedMS*float64(time.Millisecond)), s, nil, nil, 0, nil); err != nil {
 			log.Fatal(err)
 		}
 	} else {
@@ -347,9 +376,13 @@ func loadGraph(mmFile, problem, grid string, scale float64, seed int64) (*graph.
 // hybrid aliases SPECTRAL+SLOAN, and every other name — built-in or
 // user-registered — dispatches via Session.Order. Unknown names list the
 // valid ones.
-func computeOrdering(g *graph.Graph, alg string, seed int64, parallel int, budget time.Duration, portfolio string) (perm.Perm, *envred.SpectralInfo, *envred.AutoReport) {
+func computeOrdering(g *graph.Graph, alg string, seed int64, parallel int, budget time.Duration, portfolio string, st *envred.CountedStore) (perm.Perm, *envred.SpectralInfo, *envred.AutoReport) {
 	ctx := context.Background()
-	sess := envred.NewSession(envred.SessionOptions{Seed: seed, Parallelism: parallel, Budget: budget})
+	opts := envred.SessionOptions{Seed: seed, Parallelism: parallel, Budget: budget}
+	if st != nil {
+		opts.Store = st
+	}
+	sess := envred.NewSession(opts)
 	switch strings.ToLower(alg) {
 	case "auto":
 		opt := envred.AutoOptions{Seed: seed, Parallelism: parallel, Budget: budget}
@@ -385,27 +418,46 @@ func computeOrdering(g *graph.Graph, alg string, seed int64, parallel int, budge
 // stable field names, suitable for jq-style post-processing and the CI
 // artifacts.
 type runStats struct {
-	Matrix    string               `json:"matrix"`
-	N         int                  `json:"n"`
-	Nonzeros  int                  `json:"nonzeros"`
-	Algorithm string               `json:"algorithm"`
-	Seconds   float64              `json:"seconds"`
-	Envelope  envelope.Stats       `json:"envelope"`
-	Spectral  *envred.SpectralInfo `json:"spectral,omitempty"`
-	Portfolio *envred.AutoReport   `json:"portfolio,omitempty"`
+	Matrix    string  `json:"matrix"`
+	N         int     `json:"n"`
+	Nonzeros  int     `json:"nonzeros"`
+	Algorithm string  `json:"algorithm"`
+	Seconds   float64 `json:"seconds"`
+	// Eigensolves counts the eigensolves this process actually performed
+	// during the run: 0 when every spectral artifact came from the -store
+	// (or the method needed none), and 0 for -remote runs (the daemon did
+	// the work).
+	Eigensolves int64                `json:"eigensolves"`
+	Store       *storeStatsJSON      `json:"store,omitempty"`
+	Envelope    envelope.Stats       `json:"envelope"`
+	Spectral    *envred.SpectralInfo `json:"spectral,omitempty"`
+	Portfolio   *envred.AutoReport   `json:"portfolio,omitempty"`
+}
+
+// storeStatsJSON is the -store traffic record, stable snake_case names.
+type storeStatsJSON struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+	Errors int64 `json:"errors"`
 }
 
 func writeStatsJSON(w io.Writer, name string, g *graph.Graph, method string, elapsed time.Duration,
-	s envelope.Stats, info *envred.SpectralInfo, report *envred.AutoReport) error {
+	s envelope.Stats, info *envred.SpectralInfo, report *envred.AutoReport, solves int64, counted *envred.CountedStore) error {
 	doc := runStats{
-		Matrix:    name,
-		N:         g.N(),
-		Nonzeros:  g.Nonzeros(),
-		Algorithm: strings.ToUpper(method),
-		Seconds:   elapsed.Seconds(),
-		Envelope:  s,
-		Spectral:  info,
-		Portfolio: report,
+		Matrix:      name,
+		N:           g.N(),
+		Nonzeros:    g.Nonzeros(),
+		Algorithm:   strings.ToUpper(method),
+		Seconds:     elapsed.Seconds(),
+		Eigensolves: solves,
+		Envelope:    s,
+		Spectral:    info,
+		Portfolio:   report,
+	}
+	if counted != nil {
+		st := counted.Stats()
+		doc.Store = &storeStatsJSON{Hits: st.Hits, Misses: st.Misses, Puts: st.Puts, Errors: st.Errors}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -22,6 +22,14 @@
 // budget, and requests authenticate with "Authorization: Bearer KEY" or
 // "X-API-Key: KEY".
 //
+// -store URL binds a persistent artifact store (fs:///path?max_bytes=N on
+// disk, mem:// in process) shared by every tenant: eigensolves survive
+// restarts, replicas pointed at one directory pool their solves, and
+// /metrics grows envorderd_store_{hits,misses,errors,puts}_total plus the
+// envorderd_store_seconds latency histogram. Store entries are
+// content-addressed, so a restarted daemon answers repeat matrices with
+// cached=true and zero eigensolves.
+//
 // With -addr ending in :0 the kernel picks a free port; the daemon prints
 // the bound address and, with -ready-file, writes it to a file once the
 // listener is accepting — the hook CI uses to start the daemon on a
@@ -52,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	envred "repro"
 	"repro/internal/service"
 )
 
@@ -68,6 +77,7 @@ func main() {
 		cacheG    = flag.Int("cache-graphs", 0, "per-tenant graph/artifact cache capacity (0 = library default)")
 		tenantCap = flag.Int("tenant-concurrency", 0, "per-tenant in-flight ordering budget (0 = 4x workers, -1 = unlimited)")
 		seed      = flag.Int64("seed", 1, "default ordering seed")
+		storeURL  = flag.String("store", "", "persistent artifact store URL (fs:///path?max_bytes=N, mem://); empty = in-memory caching only")
 		grace     = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 		readyFile = flag.String("ready-file", "", "write the bound address to this file once listening")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
@@ -85,6 +95,14 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
+	}
+	if *storeURL != "" {
+		st, err := envred.OpenStore(*storeURL)
+		if err != nil {
+			log.Fatalf("opening -store %s: %v", *storeURL, err)
+		}
+		defer st.Close()
+		cfg.Store = st
 	}
 	if *apiKeys != "" {
 		cfg.APIKeys = map[string]string{}

@@ -79,6 +79,34 @@
 // lazily-initialized DefaultSession and stay byte-identical to their
 // pre-Session outputs (pinned by the shim-equivalence golden test).
 //
+// # Persistent artifact store
+//
+// The Session's in-memory cache is tier 1: keyed by graph pointer, gone
+// with the process. SessionOptions.Store binds a tier 2 that persists
+// eigensolve artifacts by content — the canonical SHA-256 fingerprint of
+// the graph's CSR arrays plus a digest of the spectral options — so a
+// daemon restart comes up warm, replicas pool eigensolves through a shared
+// directory, and a second CLI run on the same matrix performs zero solves:
+//
+//	st, err := envred.OpenStore("fs:///var/cache/envorder?max_bytes=1073741824")
+//	if err != nil { ... }
+//	defer st.Close()
+//	sess := envred.NewSession(envred.SessionOptions{Store: st})
+//
+// The contract: the caller owns the store (open it, share it across
+// sessions and processes, close it when every session is done); tier-1
+// misses probe it before solving and successful solves are written back
+// (a spectral ordering upgrades a Fiedler-only entry in place); failures
+// degrade gracefully — a corrupt, truncated or unreadable entry is a miss
+// plus a counted error (wrap it with NewCountedStore to observe traffic),
+// the entry is dropped and rewritten by the re-solve, and no store outcome
+// can ever change a result, only its cost. Stored vectors obey the same
+// read-only memoized-slice contract as freshly solved ones. Backends are
+// URL-dispatched (OpenStore, RegisterStoreDriver): the built-in fs://
+// backend writes one file per entry with atomic write-then-rename and
+// oldest-first size-bounded eviction (?max_bytes), and mem:// is an
+// in-process LRU for tests and single-process pooling.
+//
 // # Choosing an ordering
 //
 // Spectral is the paper's algorithm and the right default on a single

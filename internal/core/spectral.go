@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/envelope"
 	"repro/internal/graph"
@@ -150,6 +151,17 @@ func (info *Info) absorb(st solver.Stats, record bool) {
 	}
 }
 
+// eigensolveCount counts every Fiedler eigensolve this process has
+// performed (not consumed-from-cache). The CLI's -stats output and the CI
+// persistent-store check read it to prove a warm run solved nothing.
+var eigensolveCount atomic.Int64
+
+// EigensolveCount reports the number of Fiedler eigensolves performed by
+// this process so far. Unlike Info/Report counters, which attribute cached
+// solves to the runs that consume them, this counts work actually done —
+// the number a persistent artifact store exists to drive to zero.
+func EigensolveCount() int64 { return eigensolveCount.Load() }
+
 // testHookEigensolve, when non-nil, observes every Fiedler eigensolve with
 // the component size. Tests install it to assert the solver runs exactly
 // once per component.
@@ -229,6 +241,7 @@ func FiedlerVector(g *graph.Graph, opt Options) ([]float64, float64, error) {
 // allocated and safe to retain; ws is used only for scratch.
 func FiedlerConnectedWS(ctx context.Context, ws *scratch.Workspace, g *graph.Graph, opt Options) ([]float64, solver.Stats, error) {
 	n := g.N()
+	eigensolveCount.Add(1)
 	if testHookEigensolve != nil {
 		testHookEigensolve(n)
 	}

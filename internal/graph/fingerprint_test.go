@@ -1,0 +1,49 @@
+package graph
+
+import "testing"
+
+func TestFingerprintIdentity(t *testing.T) {
+	g1 := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	// Same edges added in a different order and direction: the builder
+	// canonicalizes, so the content — and the fingerprint — must match.
+	g2 := FromEdges(5, [][2]int{{4, 3}, {2, 1}, {3, 2}, {1, 0}})
+	if FingerprintOf(g1) != FingerprintOf(g2) {
+		t.Fatal("structurally identical graphs have different fingerprints")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	cases := map[string]*Graph{
+		"extra edge":    FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}),
+		"missing edge":  FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		"more vertices": FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}),
+		"relabeled":     FromEdges(5, [][2]int{{0, 2}, {2, 1}, {1, 3}, {3, 4}}),
+	}
+	fp := FingerprintOf(base)
+	for name, g := range cases {
+		if FingerprintOf(g) == fp {
+			t.Errorf("%s: fingerprint collides with base graph", name)
+		}
+	}
+}
+
+func TestFingerprintEmptyAndIsolated(t *testing.T) {
+	empty := FromEdges(0, nil)
+	isolated := FromEdges(3, nil)
+	if FingerprintOf(empty) == FingerprintOf(isolated) {
+		t.Fatal("0-vertex and 3-vertex edgeless graphs share a fingerprint")
+	}
+}
+
+func TestFingerprintStringHex(t *testing.T) {
+	s := FingerprintOf(FromEdges(2, [][2]int{{0, 1}})).String()
+	if len(s) != 64 {
+		t.Fatalf("String() = %q, want 64 hex chars", s)
+	}
+	for _, c := range s {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("String() contains non-hex char %q", c)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/perm"
 	"repro/internal/scratch"
 	"repro/internal/solver"
+	"repro/internal/store"
 )
 
 // Artifacts memoizes the expensive per-component precomputations the
@@ -30,9 +31,26 @@ import (
 // the next caller retries (and observes its own context). Results are
 // plain heap values (never workspace-backed): candidates on other workers
 // read them after the memoizing mutex is released.
+//
+// When a tier-2 store is bound (Cache.SetStore), the first Fiedler/Spectral
+// call additionally probes the persistent store before solving and writes
+// successful outcomes back after. Store traffic never changes a result:
+// a hit is validated against the graph before it is trusted, anything
+// invalid is dropped and re-solved, and vectors loaded from the store obey
+// the same read-only memoized-slice contract as freshly solved ones.
 type Artifacts struct {
 	g   *graph.Graph
 	opt core.Options
+
+	// tier2 is the persistent store shared through the owning Cache (nil
+	// without one). probed/persistLevel sequence the one probe per process
+	// and the fiedler→spectral upgrade writes; both are touched only while
+	// holding the memo semaphore.
+	tier2        store.Store
+	keyOnce      sync.Once
+	key          store.Key
+	probed       bool
+	persistLevel int // 0 nothing, 1 fiedler, 2 fiedler+spectral written
 
 	opOnce sync.Once
 	op     laplacian.Interface
@@ -67,8 +85,93 @@ type Artifacts struct {
 	pdLSU, pdLSV *graph.LevelStructure
 }
 
-func newArtifacts(g *graph.Graph, opt core.Options) *Artifacts {
-	return &Artifacts{g: g, opt: opt, memo: make(chan struct{}, 1)}
+func newArtifacts(g *graph.Graph, opt core.Options, tier2 store.Store) *Artifacts {
+	return &Artifacts{g: g, opt: opt, tier2: tier2, memo: make(chan struct{}, 1)}
+}
+
+// storeKey lazily computes the artifact's persistent-store key (one graph
+// hash per Artifacts, not per call).
+func (a *Artifacts) storeKey() store.Key {
+	a.keyOnce.Do(func() { a.key = StoreKeyFor(a.g, a.opt) })
+	return a.key
+}
+
+// tier2Probe tries to fill the memo from the persistent store — once per
+// Artifacts lifetime, before the first eigensolve. A hit is trusted only
+// after validation against the live graph (vertex count, vector lengths,
+// permutation validity); an entry that decodes but does not fit is deleted
+// and treated as a miss, so a bad store can cost a re-solve but never an
+// answer. The caller holds the memo semaphore.
+func (a *Artifacts) tier2Probe() {
+	if a.tier2 == nil || a.probed {
+		return
+	}
+	a.probed = true
+	rec, err := a.tier2.Get(a.storeKey())
+	if err != nil {
+		return // miss, or an error the Counted wrapper has already counted
+	}
+	n := a.g.N()
+	if rec.N != n || !rec.HasFiedler || len(rec.Fiedler) != n ||
+		(rec.HasSpectral && (len(rec.Perm) != n || perm.Perm(rec.Perm).Check() != nil)) {
+		a.tier2.Delete(a.storeKey())
+		return
+	}
+	a.mu.Lock()
+	a.fiedlerVec, a.fiedlerStats, a.fiedlerErr = rec.Fiedler, rec.Stats, nil
+	a.fiedlerDone = true
+	a.persistLevel = 1
+	if rec.HasSpectral {
+		a.spectralOrd, a.spectralEsize, a.spectralRev = rec.Perm, rec.Esize, rec.Reversed
+		a.spectralDone = true
+		a.persistLevel = 2
+	}
+	a.mu.Unlock()
+}
+
+// tier2Save writes the memoized outcome back to the persistent store when
+// it says more than what is already there (a spectral ordering upgrades a
+// fiedler-only entry in place). Only successful solves persist: a hard
+// failure stays a process-local memo and a cancelled solve was never
+// memoized at all. Put errors are counted by the store's instrumentation
+// and otherwise ignored — persistence is an accelerator, not a commitment.
+// The caller holds the memo semaphore.
+func (a *Artifacts) tier2Save() {
+	if a.tier2 == nil {
+		return
+	}
+	a.mu.Lock()
+	level := 0
+	if a.fiedlerDone && a.fiedlerErr == nil {
+		level = 1
+		if a.spectralDone {
+			level = 2
+		}
+	}
+	if level <= a.persistLevel {
+		a.mu.Unlock()
+		return
+	}
+	rec := &store.Artifact{
+		N:          a.g.N(),
+		HasFiedler: true,
+		Fiedler:    a.fiedlerVec,
+		Stats:      a.fiedlerStats,
+	}
+	if level == 2 {
+		rec.HasSpectral = true
+		rec.Perm = a.spectralOrd
+		rec.Esize = a.spectralEsize
+		rec.Reversed = a.spectralRev
+	}
+	a.mu.Unlock()
+	if a.tier2.Put(a.storeKey(), rec) == nil {
+		a.mu.Lock()
+		if level > a.persistLevel {
+			a.persistLevel = level
+		}
+		a.mu.Unlock()
+	}
 }
 
 // lockCtx acquires the memo semaphore, giving up with the context error if
@@ -149,6 +252,14 @@ func (a *Artifacts) fiedlerLocked(ctx context.Context, ws *scratch.Workspace) ([
 		return vec, st, err
 	}
 	a.mu.Unlock()
+	a.tier2Probe()
+	a.mu.Lock()
+	if a.fiedlerDone { // the probe hit
+		vec, st, err := a.fiedlerVec, a.fiedlerStats, a.fiedlerErr
+		a.mu.Unlock()
+		return vec, st, err
+	}
+	a.mu.Unlock()
 	opt := a.opt
 	opt.Operator = a.Operator()
 	vec, st, err := core.FiedlerConnectedWS(ctx, ws, a.g, opt)
@@ -159,6 +270,7 @@ func (a *Artifacts) fiedlerLocked(ctx context.Context, ws *scratch.Workspace) ([
 	a.fiedlerVec, a.fiedlerStats, a.fiedlerErr = vec, st, err
 	a.fiedlerDone = true
 	a.mu.Unlock()
+	a.tier2Save()
 	return vec, st, err
 }
 
@@ -186,11 +298,19 @@ func (a *Artifacts) Spectral(ctx context.Context, ws *scratch.Workspace) (o perm
 	if err != nil {
 		return nil, 0, false, st, err
 	}
+	a.mu.Lock()
+	if a.spectralDone { // the tier-2 probe under fiedlerLocked filled it
+		o, esize, reversed = a.spectralOrd, a.spectralEsize, a.spectralRev
+		a.mu.Unlock()
+		return o, esize, reversed, st, nil
+	}
+	a.mu.Unlock()
 	o, esize, reversed = core.OrderFiedler(ws, a.g, x)
 	a.mu.Lock()
 	a.spectralOrd, a.spectralEsize, a.spectralRev = o, esize, reversed
 	a.spectralDone = true
 	a.mu.Unlock()
+	a.tier2Save()
 	return o, esize, reversed, st, nil
 }
 

@@ -183,7 +183,7 @@ func TestArtifactCandidatesMatchStandalone(t *testing.T) {
 func TestArtifactsMemoization(t *testing.T) {
 	g := graph.Grid(12, 9)
 	ws := scratch.New()
-	art := newArtifacts(g, core.Options{Seed: 3})
+	art := newArtifacts(g, core.Options{Seed: 3}, nil)
 
 	root := art.Root()
 	wantRoot, _ := graph.PseudoPeripheral(g, 0)
@@ -242,7 +242,7 @@ func TestArtifactsMemoization(t *testing.T) {
 // every access — including the Fiedler solve — sees the same instance.
 func TestArtifactsOperatorShared(t *testing.T) {
 	g := graph.Grid(20, 15)
-	art := newArtifacts(g, core.Options{Seed: 3})
+	art := newArtifacts(g, core.Options{Seed: 3}, nil)
 	op1 := art.Operator()
 	if op1 == nil || op1.Dim() != g.N() {
 		t.Fatalf("Operator artifact wrong: %v", op1)

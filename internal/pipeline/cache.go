@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/scratch"
+	"repro/internal/store"
 )
 
 // DefaultCacheGraphs is the default number of distinct graphs a Cache
@@ -31,18 +32,24 @@ const maxArtifactOptionSets = 4
 //
 // Graphs are keyed by pointer identity, which is sound because Graph is
 // immutable. Entries are evicted least-recently-used beyond the configured
-// capacity, bounding the memory a long-lived Session can pin. A Cache is
-// safe for concurrent use; artifacts reached through it retain the
-// Artifacts guarantees (memoized once, cancelled solves retried).
+// capacity, bounding the memory a long-lived Session can pin. The Cache —
+// and with it every artifact it memoizes — lives exactly as long as its
+// Session: eviction or process exit discards the work. Binding a tier-2
+// store (SetStore) is what extends artifact lifetime past the process:
+// evicted or never-seen graphs re-enter warm by content fingerprint, from
+// this process's earlier life or any other process sharing the store. A
+// Cache is safe for concurrent use; artifacts reached through it retain
+// the Artifacts guarantees (memoized once, cancelled solves retried).
 //
 // Caching never changes results: every artifact is a pure function of the
 // graph and the options, so a cached Auto run is byte-identical to an
-// uncached one.
+// uncached one — and a store-warmed run to both.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
 	entries map[*graph.Graph]*list.Element
-	lru     *list.List // of *cacheEntry; front = most recently used
+	lru     *list.List  // of *cacheEntry; front = most recently used
+	store   store.Store // tier 2; nil = in-memory only
 }
 
 // NewCache returns a Cache retaining at most maxGraphs graphs (≤ 0 means
@@ -56,6 +63,23 @@ func NewCache(maxGraphs int) *Cache {
 		entries: map[*graph.Graph]*list.Element{},
 		lru:     list.New(),
 	}
+}
+
+// SetStore binds the persistent tier-2 store newly created artifacts probe
+// before solving and write back after. Set it before the Cache serves
+// traffic (artifacts created earlier keep running store-less); the Cache
+// does not own st and never closes it.
+func (c *Cache) SetStore(st store.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = st
+}
+
+// tier2 returns the bound store (nil without one).
+func (c *Cache) tier2() store.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
 }
 
 // cacheEntry is one graph's memo. Its mutex serializes the (one-time)
@@ -126,8 +150,9 @@ type resolved struct {
 }
 
 // extractAll decomposes g and extracts every nontrivial component subgraph
-// on the worker pool — the uncached stage-1 work of Auto.
-func extractAll(g *graph.Graph, workers int, sopt core.Options) resolved {
+// on the worker pool — the uncached stage-1 work of Auto. st (may be nil)
+// is the tier-2 store bound into the fresh artifacts.
+func extractAll(g *graph.Graph, workers int, sopt core.Options, st store.Store) resolved {
 	comps := graph.Components(g)
 	r := resolved{
 		comps: comps,
@@ -144,13 +169,13 @@ func extractAll(g *graph.Graph, workers int, sopt core.Options) resolved {
 			// the extraction copy and key the artifacts on g, letting the
 			// cache share them with the whole-graph entry points.
 			r.subs[ci] = g
-			r.arts[ci] = newArtifacts(g, sopt)
+			r.arts[ci] = newArtifacts(g, sopt, st)
 			return
 		}
 		sub := &graph.Graph{}
 		g.SubgraphInto(ws, sub, comps[ci])
 		r.subs[ci] = sub
-		r.arts[ci] = newArtifacts(sub, sopt)
+		r.arts[ci] = newArtifacts(sub, sopt, st)
 	})
 	return r
 }
@@ -162,18 +187,19 @@ func extractAll(g *graph.Graph, workers int, sopt core.Options) resolved {
 // on the same connected graph share one eigensolve.
 func resolve(g *graph.Graph, workers int, sopt core.Options, cache *Cache) resolved {
 	if cache == nil {
-		return extractAll(g, workers, sopt)
+		return extractAll(g, workers, sopt, nil)
 	}
+	st := cache.tier2()
 	e := cache.entry(g)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	key := artKey(sopt)
 	if e.comps == nil {
-		r := extractAll(g, workers, sopt)
+		r := extractAll(g, workers, sopt, st)
 		e.comps, e.subs = r.comps, r.subs
 		for i, sub := range e.subs {
 			if sub == g {
-				r.arts[i] = e.wholeLocked(g, sopt) // may pre-date this run
+				r.arts[i] = e.wholeLocked(g, sopt, st) // may pre-date this run
 			}
 		}
 		e.arts = map[core.Options][]*Artifacts{key: r.arts}
@@ -188,9 +214,9 @@ func resolve(g *graph.Graph, workers int, sopt core.Options, cache *Cache) resol
 		for i, sub := range e.subs {
 			switch {
 			case sub == g:
-				arts[i] = e.wholeLocked(g, sopt)
+				arts[i] = e.wholeLocked(g, sopt, st)
 			case sub != nil:
-				arts[i] = newArtifacts(sub, sopt)
+				arts[i] = newArtifacts(sub, sopt, st)
 			}
 		}
 		e.arts[key] = arts
@@ -214,14 +240,15 @@ func (c *Cache) WholeIfConnected(g *graph.Graph, sopt core.Options) *Artifacts {
 	if !*e.connected {
 		return nil
 	}
-	return e.wholeLocked(g, sopt)
+	return e.wholeLocked(g, sopt, c.tier2())
 }
 
 // wholeLocked returns the entry's memoized whole-graph Artifacts for sopt,
-// creating (and capacity-capping) as needed. The caller holds e.mu. Both
-// the whole-graph entry points and resolve's spanning-component path land
-// here, which is what makes their eigensolves shared.
-func (e *cacheEntry) wholeLocked(g *graph.Graph, sopt core.Options) *Artifacts {
+// creating (and capacity-capping) as needed; st (may be nil) is bound into
+// fresh artifacts. The caller holds e.mu. Both the whole-graph entry
+// points and resolve's spanning-component path land here, which is what
+// makes their eigensolves shared.
+func (e *cacheEntry) wholeLocked(g *graph.Graph, sopt core.Options, st store.Store) *Artifacts {
 	key := artKey(sopt)
 	if a, ok := e.whole[key]; ok {
 		return a
@@ -229,7 +256,7 @@ func (e *cacheEntry) wholeLocked(g *graph.Graph, sopt core.Options) *Artifacts {
 	if e.whole == nil || len(e.whole) >= maxArtifactOptionSets {
 		e.whole = map[core.Options]*Artifacts{}
 	}
-	a := newArtifacts(g, sopt)
+	a := newArtifacts(g, sopt, st)
 	e.whole[key] = a
 	return a
 }

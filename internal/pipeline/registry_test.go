@@ -256,7 +256,7 @@ func TestBudgetInterruptsRunningCandidate(t *testing.T) {
 // ErrCancelled instead of blocking out its deadline.
 func TestArtifactsLockHonorsContext(t *testing.T) {
 	g := graph.Grid(12, 9)
-	art := newArtifacts(g, spectralOpt(Options{Seed: 2}))
+	art := newArtifacts(g, spectralOpt(Options{Seed: 2}), nil)
 	ws := scratch.Get()
 	defer scratch.Put(ws)
 	hold := make(chan struct{})
@@ -290,7 +290,7 @@ func TestArtifactsLockHonorsContext(t *testing.T) {
 // caller (with a live context) retries and succeeds.
 func TestArtifactsRetryAfterCancelledSolve(t *testing.T) {
 	g := graph.Grid(12, 9)
-	art := newArtifacts(g, spectralOpt(Options{Seed: 2}))
+	art := newArtifacts(g, spectralOpt(Options{Seed: 2}), nil)
 	ws := scratch.Get()
 	defer scratch.Put(ws)
 	cancelled, cancel := context.WithCancel(context.Background())

@@ -2,8 +2,6 @@ package service
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
 	"sync"
 
 	"repro/internal/graph"
@@ -13,24 +11,27 @@ import (
 // the same matrix resolve to one *graph.Graph instance. That pointer
 // identity is what makes the tenant Session's artifact cache (which keys
 // by graph pointer) effective across the wire: without interning, every
-// HTTP request would parse a fresh graph and no eigensolve would ever be
-// reused. Capacity matches the Session cache so the two LRUs age together.
+// HTTP request would parse a fresh graph and no in-memory eigensolve would
+// ever be reused. Capacity matches the Session cache so the two LRUs age
+// together. The key is the same canonical graph.Fingerprint the persistent
+// artifact store addresses entries by, so an interner hit and a store hit
+// describe the same content identity at different lifetimes.
 type interner struct {
 	max     int
 	mu      sync.Mutex
-	entries map[[sha256.Size]byte]*list.Element
+	entries map[graph.Fingerprint]*list.Element
 	lru     *list.List // of *internEntry; front = most recently used
 }
 
 type internEntry struct {
-	key [sha256.Size]byte
+	key graph.Fingerprint
 	g   *graph.Graph
 }
 
 func newInterner(maxGraphs int) *interner {
 	return &interner{
 		max:     maxGraphs,
-		entries: map[[sha256.Size]byte]*list.Element{},
+		entries: map[graph.Fingerprint]*list.Element{},
 		lru:     list.New(),
 	}
 }
@@ -39,7 +40,7 @@ func newInterner(maxGraphs int) *interner {
 // the resident instance (hit=false), evicting least-recently-used entries
 // past capacity.
 func (it *interner) intern(g *graph.Graph) (resident *graph.Graph, hit bool) {
-	key := fingerprint(g)
+	key := graph.FingerprintOf(g)
 	it.mu.Lock()
 	defer it.mu.Unlock()
 	if el, ok := it.entries[key]; ok {
@@ -53,31 +54,4 @@ func (it *interner) intern(g *graph.Graph) (resident *graph.Graph, hit bool) {
 		it.lru.Remove(back)
 	}
 	return g, false
-}
-
-// fingerprint hashes the CSR arrays (the full content of an immutable
-// Graph) chunk-wise through a fixed buffer.
-func fingerprint(g *graph.Graph) [sha256.Size]byte {
-	h := sha256.New()
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(g.N()))
-	h.Write(hdr[:])
-	var buf [4 * 4096]byte
-	hashInt32s(h, buf[:], g.Xadj)
-	hashInt32s(h, buf[:], g.Adj)
-	return [sha256.Size]byte(h.Sum(nil))
-}
-
-func hashInt32s(h interface{ Write([]byte) (int, error) }, buf []byte, vals []int32) {
-	for len(vals) > 0 {
-		n := len(buf) / 4
-		if n > len(vals) {
-			n = len(vals)
-		}
-		for i := 0; i < n; i++ {
-			binary.LittleEndian.PutUint32(buf[4*i:], uint32(vals[i]))
-		}
-		h.Write(buf[:4*n])
-		vals = vals[n:]
-	}
 }

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	envred "repro"
 )
 
 // metrics is the daemon's hand-rolled Prometheus registry: the handful of
@@ -29,6 +31,14 @@ type metrics struct {
 	// non-interned graph), so it tracks solver latency, not cache serving.
 	orderSeconds *histogram
 	eigenSeconds *histogram
+	// store is the daemon's counted persistent-store handle (nil without
+	// Config.Store); its hit/miss/error counters are read at render time so
+	// the exposition and the store never disagree. storeSeconds tracks the
+	// wall-clock of every store operation (get/put/delete), keeping
+	// persistent-tier latency distinguishable from the in-memory cache
+	// traffic above.
+	store        *envred.CountedStore
+	storeSeconds *histogram
 	// live state.
 	inFlight   gauge
 	jobsQueued gauge
@@ -41,6 +51,7 @@ func newMetrics() *metrics {
 		jobs:         newCounterVec("status"),
 		orderSeconds: newHistogram(buckets),
 		eigenSeconds: newHistogram(buckets),
+		storeSeconds: newHistogram(buckets),
 	}
 }
 
@@ -58,6 +69,19 @@ func (m *metrics) writeTo(w io.Writer) {
 	m.orderSeconds.writeTo(w, "envorderd_order_seconds")
 	writeHeader(w, "envorderd_eigensolve_seconds", "histogram", "Latency of orderings that ran a fresh eigensolve (cold graph, spectral-family algorithm).")
 	m.eigenSeconds.writeTo(w, "envorderd_eigensolve_seconds")
+	if m.store != nil {
+		st := m.store.Stats()
+		writeHeader(w, "envorderd_store_hits_total", "counter", "Persistent-store reads that returned a valid artifact.")
+		fmt.Fprintf(w, "envorderd_store_hits_total %d\n", st.Hits)
+		writeHeader(w, "envorderd_store_misses_total", "counter", "Persistent-store reads that found no entry.")
+		fmt.Fprintf(w, "envorderd_store_misses_total %d\n", st.Misses)
+		writeHeader(w, "envorderd_store_errors_total", "counter", "Persistent-store operations that failed (corrupt entries included); each degraded to a miss.")
+		fmt.Fprintf(w, "envorderd_store_errors_total %d\n", st.Errors)
+		writeHeader(w, "envorderd_store_puts_total", "counter", "Artifacts written back to the persistent store.")
+		fmt.Fprintf(w, "envorderd_store_puts_total %d\n", st.Puts)
+		writeHeader(w, "envorderd_store_seconds", "histogram", "Persistent-store operation latency (get/put/delete).")
+		m.storeSeconds.writeTo(w, "envorderd_store_seconds")
+	}
 	writeHeader(w, "envorderd_in_flight", "gauge", "Orderings currently executing or queued on the solve pool.")
 	fmt.Fprintf(w, "envorderd_in_flight %d\n", m.inFlight.value())
 	writeHeader(w, "envorderd_jobs_queued", "gauge", "Async jobs waiting for a worker.")

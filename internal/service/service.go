@@ -72,6 +72,13 @@ type Config struct {
 	TenantConcurrency int
 	// Seed is the default ordering seed when a request carries none.
 	Seed int64
+	// Store, when non-nil, is the persistent artifact store every tenant
+	// Session shares (entries are content-addressed, so cross-tenant reuse
+	// can never leak one tenant's results into another's — equal content is
+	// equal artifacts). The daemon wraps it with traffic counters surfaced
+	// as envorderd_store_* metrics. The caller owns the store: open it
+	// before New (see envred.OpenStore) and close it after Shutdown.
+	Store envred.Store
 	// Logf, when non-nil, receives one line per request and lifecycle
 	// event (log.Printf-compatible).
 	Logf func(format string, args ...any)
@@ -133,6 +140,13 @@ type Server struct {
 	// solveSem is the global bounded solve pool.
 	solveSem chan struct{}
 
+	// store is the counted persistent-store handle tenant Sessions solve
+	// through (nil without Config.Store); rawStore is the uncounted
+	// underlying handle used for advisory cached-flag probes, which must
+	// not perturb the hit/miss counters.
+	store    *envred.CountedStore
+	rawStore envred.Store
+
 	tenantMu sync.Mutex
 	byName   map[string]*tenant
 	byKey    map[string]*tenant
@@ -164,6 +178,13 @@ func New(cfg Config) *Server {
 		jobCh:    make(chan *job, cfg.queueDepth()),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.Store != nil {
+		s.rawStore = cfg.Store
+		s.store = envred.NewCountedStore(cfg.Store, func(_ string, seconds float64) {
+			s.m.storeSeconds.observe(seconds)
+		})
+		s.m.store = s.store
+	}
 	if len(cfg.APIKeys) == 0 {
 		s.open = s.newTenant("default")
 	} else {
@@ -185,9 +206,13 @@ func New(cfg Config) *Server {
 }
 
 func (s *Server) newTenant(name string) *tenant {
+	opts := envred.SessionOptions{Seed: s.cfg.Seed, CacheGraphs: s.cfg.cacheGraphs()}
+	if s.store != nil {
+		opts.Store = s.store
+	}
 	t := &tenant{
 		name:    name,
-		sess:    envred.NewSession(envred.SessionOptions{Seed: s.cfg.Seed, CacheGraphs: s.cfg.cacheGraphs()}),
+		sess:    envred.NewSession(opts),
 		graphs:  newInterner(s.cfg.cacheGraphs()),
 		started: time.Now(),
 	}

@@ -1,0 +1,141 @@
+package service_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	envred "repro"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// countServiceSolves counts the eigensolves actually performed while f
+// runs. The hook is process-global, so tests using it must not run in
+// parallel with other ordering traffic.
+func countServiceSolves(f func()) int {
+	var n int64
+	restore := core.SetEigensolveTestHook(func(int) { atomic.AddInt64(&n, 1) })
+	defer restore()
+	f()
+	return int(atomic.LoadInt64(&n))
+}
+
+// scrapeCounter reads one un-labeled counter's value off /metrics.
+func scrapeCounter(t *testing.T, baseURL, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in /metrics", name)
+	return 0
+}
+
+// TestServiceWarmRestart boots a store-backed daemon, orders a matrix,
+// shuts the daemon down, boots a fresh one on the same store directory and
+// orders the same matrix again: the restarted daemon must answer with
+// cached=true, zero eigensolves and a byte-identical permutation, and the
+// store metrics must show the round trip (miss+put cold, hit warm).
+func TestServiceWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := envred.Grid(14, 11)
+	body := mmBody(t, g)
+
+	run := func(wantName string) (rep orderReply, solves int, hits, misses, puts int64) {
+		st, err := envred.OpenStore("fs://" + dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		svc := service.New(service.Config{Seed: 3, Store: st})
+		ts := httptest.NewServer(svc.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := svc.Shutdown(ctx); err != nil {
+				t.Errorf("%s shutdown: %v", wantName, err)
+			}
+		}()
+		solves = countServiceSolves(func() {
+			resp, raw := postMM(t, ts.URL+"/v1/order?algorithm=spectral", body, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", wantName, resp.StatusCode, raw)
+			}
+			if err := json.Unmarshal(raw, &rep); err != nil {
+				t.Fatalf("%s: %v", wantName, err)
+			}
+		})
+		hits = scrapeCounter(t, ts.URL, "envorderd_store_hits_total")
+		misses = scrapeCounter(t, ts.URL, "envorderd_store_misses_total")
+		puts = scrapeCounter(t, ts.URL, "envorderd_store_puts_total")
+		return rep, solves, hits, misses, puts
+	}
+
+	cold, coldSolves, coldHits, coldMisses, coldPuts := run("cold")
+	if cold.Cached {
+		t.Error("cold run reported cached=true")
+	}
+	if coldSolves == 0 {
+		t.Fatal("cold run performed no eigensolves")
+	}
+	if coldHits != 0 || coldMisses == 0 || coldPuts == 0 {
+		t.Errorf("cold store traffic hits=%d misses=%d puts=%d, want 0/>0/>0", coldHits, coldMisses, coldPuts)
+	}
+
+	warm, warmSolves, warmHits, _, _ := run("warm")
+	if !warm.Cached {
+		t.Error("restarted daemon reported cached=false for a stored matrix")
+	}
+	if warmSolves != 0 {
+		t.Errorf("restarted daemon performed %d eigensolves, want 0", warmSolves)
+	}
+	if warmHits == 0 {
+		t.Error("restarted daemon's store traffic shows no hits")
+	}
+	if len(warm.Perm) != len(cold.Perm) {
+		t.Fatalf("permutation length changed across restart: %d vs %d", len(warm.Perm), len(cold.Perm))
+	}
+	for i := range warm.Perm {
+		if warm.Perm[i] != cold.Perm[i] {
+			t.Fatalf("permutation differs across restart at %d: %d vs %d", i, warm.Perm[i], cold.Perm[i])
+		}
+	}
+}
+
+// TestServiceStoreMetricsAbsentWithoutStore pins the exposition contract:
+// a daemon without Config.Store exposes no envorderd_store_* series.
+func TestServiceStoreMetricsAbsentWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{Seed: 1})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "envorderd_store_") {
+			t.Fatalf("store metric leaked without a store: %s", sc.Text())
+		}
+	}
+}

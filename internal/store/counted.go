@@ -1,0 +1,117 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of a Counted store's traffic.
+type Stats struct {
+	// Hits counts Gets that returned an entry.
+	Hits int64
+	// Misses counts Gets that found no entry (ErrNotFound).
+	Misses int64
+	// Puts counts successful writes.
+	Puts int64
+	// Errors counts every other failure: corrupt entries, I/O errors on any
+	// operation. Corrupt Gets count here and NOT under Misses, though the
+	// caller treats them the same way.
+	Errors int64
+}
+
+// HitRate returns Hits/(Hits+Misses) — errors excluded — or 0 with no
+// traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Counted wraps a Store with atomic hit/miss/error accounting and an
+// optional per-operation latency observer — the single instrumentation
+// point the Session, daemon metrics and CLI stats all read, so their
+// numbers always agree.
+type Counted struct {
+	inner Store
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+	errs   atomic.Int64
+
+	// observe, when non-nil, receives ("get"|"put"|"delete", wall seconds)
+	// after each corresponding operation. Set once before use.
+	observe func(op string, seconds float64)
+}
+
+// NewCounted wraps inner with traffic counters. observe may be nil; when
+// set it is called after every Get/Put/Delete with the operation name and
+// its wall-clock duration in seconds (the daemon feeds its latency
+// histogram this way).
+func NewCounted(inner Store, observe func(op string, seconds float64)) *Counted {
+	return &Counted{inner: inner, observe: observe}
+}
+
+// Unwrap returns the underlying store (for Sizer-style type assertions).
+func (c *Counted) Unwrap() Store { return c.inner }
+
+// Stats snapshots the counters.
+func (c *Counted) Stats() Stats {
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+		Errors: c.errs.Load(),
+	}
+}
+
+func (c *Counted) timeOp(op string) func() {
+	if c.observe == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { c.observe(op, time.Since(start).Seconds()) }
+}
+
+func (c *Counted) Get(key Key) (*Artifact, error) {
+	done := c.timeOp("get")
+	a, err := c.inner.Get(key)
+	done()
+	switch {
+	case err == nil:
+		c.hits.Add(1)
+	case errors.Is(err, ErrNotFound):
+		c.misses.Add(1)
+	default:
+		c.errs.Add(1)
+	}
+	return a, err
+}
+
+func (c *Counted) Put(key Key, a *Artifact) error {
+	done := c.timeOp("put")
+	err := c.inner.Put(key, a)
+	done()
+	if err != nil {
+		c.errs.Add(1)
+	} else {
+		c.puts.Add(1)
+	}
+	return err
+}
+
+func (c *Counted) Delete(key Key) error {
+	done := c.timeOp("delete")
+	err := c.inner.Delete(key)
+	done()
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		c.errs.Add(1)
+	}
+	return err
+}
+
+func (c *Counted) Len() (int, error) { return c.inner.Len() }
+
+func (c *Counted) Close() error { return c.inner.Close() }

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+func init() {
+	Register("fs", func(u *url.URL) (Store, error) {
+		// fs:///abs/path has an empty host; fs://rel/path puts the first
+		// segment in Host — accept both so relative dirs work in tests.
+		path := u.Path
+		if u.Host != "" {
+			path = filepath.Join(u.Host, strings.TrimPrefix(u.Path, "/"))
+		}
+		if path == "" {
+			return nil, errors.New("store: fs URL has no path")
+		}
+		return openFS(path, u.Query())
+	})
+}
+
+// artExt names on-disk artifact entries: "<key>.art".
+const artExt = ".art"
+
+// fsStore is the on-disk backend: one file per entry under a flat
+// directory, named by the key's hex form. Writes go through a temp file in
+// the same directory plus rename, so readers — including other processes
+// sharing the directory — only ever observe complete entries. Eviction is
+// size-bounded and oldest-mtime-first.
+type fsStore struct {
+	dir      string
+	maxBytes int64 // 0 = unbounded
+
+	// evictMu serializes this process's eviction scans; Get/Put/Delete on
+	// individual entries need no lock because the filesystem rename/unlink
+	// operations are themselves atomic.
+	evictMu sync.Mutex
+	closed  bool
+	mu      sync.Mutex // guards closed
+}
+
+// openFS opens (creating if needed) the directory-backed store at path.
+// Recognized query parameters:
+//
+//	max_bytes  total on-disk budget in bytes; oldest entries are evicted
+//	           after each write that pushes past it (0 or absent = unbounded)
+func openFS(path string, q url.Values) (Store, error) {
+	for param := range q {
+		if param != "max_bytes" {
+			return nil, fmt.Errorf("store: fs: unknown parameter %q", param)
+		}
+	}
+	var maxBytes int64
+	if v := q.Get("max_bytes"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("store: fs: bad max_bytes %q", v)
+		}
+		maxBytes = n
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("store: fs: %w", err)
+	}
+	return &fsStore{dir: path, maxBytes: maxBytes}, nil
+}
+
+func (s *fsStore) checkClosed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: fs: use after Close")
+	}
+	return nil
+}
+
+func (s *fsStore) entryPath(key Key) string {
+	return filepath.Join(s.dir, key.String()+artExt)
+}
+
+func (s *fsStore) Get(key Key) (*Artifact, error) {
+	if err := s.checkClosed(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.entryPath(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: fs: read %s: %w", key, err)
+	}
+	gotKey, a, err := DecodeArtifact(data)
+	if err == nil && gotKey != key {
+		err = corrupt("entry %s holds key %s", key, gotKey)
+	}
+	if err != nil {
+		// Drop the bad entry so the next solve's write starts clean; a
+		// failure to remove is irrelevant — the caller already treats this
+		// as a miss.
+		os.Remove(s.entryPath(key))
+		return nil, fmt.Errorf("store: fs: entry %s: %w", key, err)
+	}
+	return a, nil
+}
+
+func (s *fsStore) Put(key Key, a *Artifact) error {
+	if err := s.checkClosed(); err != nil {
+		return err
+	}
+	data := EncodeArtifact(key, a)
+	// Temp file in the target directory (not os.TempDir) so the final
+	// rename never crosses filesystems and stays atomic.
+	tmp, err := os.CreateTemp(s.dir, "put-*"+artExt+".tmp")
+	if err != nil {
+		return fmt.Errorf("store: fs: write %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: fs: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: fs: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, s.entryPath(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: fs: write %s: %w", key, err)
+	}
+	if s.maxBytes > 0 {
+		s.evict(key)
+	}
+	return nil
+}
+
+// evict removes oldest-mtime entries until the directory fits maxBytes,
+// sparing the just-written key so a single oversized budget pass never
+// deletes the entry the caller came to store.
+func (s *fsStore) evict(justWrote Key) {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	type ent struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var ents []ent
+	var total int64
+	for _, de := range dirents {
+		if !strings.HasSuffix(de.Name(), artExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a delete
+		}
+		ents = append(ents, ent{de.Name(), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].mtime < ents[j].mtime })
+	spare := justWrote.String() + artExt
+	for _, e := range ents {
+		if total <= s.maxBytes {
+			break
+		}
+		if e.name == spare {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, e.name)) == nil {
+			total -= e.size
+		}
+	}
+}
+
+func (s *fsStore) Delete(key Key) error {
+	if err := s.checkClosed(); err != nil {
+		return err
+	}
+	err := os.Remove(s.entryPath(key))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: fs: delete %s: %w", key, err)
+	}
+	return nil
+}
+
+func (s *fsStore) Len() (int, error) {
+	if err := s.checkClosed(); err != nil {
+		return 0, err
+	}
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: fs: %w", err)
+	}
+	n := 0
+	for _, de := range dirents {
+		if strings.HasSuffix(de.Name(), artExt) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (s *fsStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// SizeBytes reports the total size of the entries on disk — exported for
+// the CLI's -stats output and CI benchmarks; not part of the Store
+// interface because not every backend can answer cheaply.
+func (s *fsStore) SizeBytes() (int64, error) {
+	if err := s.checkClosed(); err != nil {
+		return 0, err
+	}
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: fs: %w", err)
+	}
+	var total int64
+	for _, de := range dirents {
+		if !strings.HasSuffix(de.Name(), artExt) {
+			continue
+		}
+		if info, err := de.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
+// Sizer is implemented by backends that can report their total stored
+// bytes (the fs backend does). Callers type-assert through Unwrap-style
+// wrappers as needed.
+type Sizer interface {
+	SizeBytes() (int64, error)
+}

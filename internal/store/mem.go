@@ -1,0 +1,163 @@
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+	"sync"
+)
+
+func init() {
+	Register("mem", func(u *url.URL) (Store, error) {
+		q := u.Query()
+		for param := range q {
+			if param != "max_entries" {
+				return nil, fmt.Errorf("store: mem: unknown parameter %q", param)
+			}
+		}
+		max := 0
+		if v := q.Get("max_entries"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("store: mem: bad max_entries %q", v)
+			}
+			max = n
+		}
+		return NewMem(max), nil
+	})
+}
+
+// memStore is the in-process backend: an LRU map from key to the entry's
+// encoded bytes. Storing the wire form rather than the live Artifact keeps
+// the backend honest — Get exercises the same decode path as the fs store,
+// and callers can never alias a stored slice. Useful for tests and as a
+// shared second tier across Sessions in one process.
+type memStore struct {
+	max int // 0 = unbounded
+
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // of *memEntry; front = most recently used
+	closed  bool
+}
+
+type memEntry struct {
+	key  Key
+	data []byte
+}
+
+// NewMem returns an in-process store holding at most maxEntries entries
+// (0 = unbounded), evicting least-recently-used first. Equivalent to
+// Open("mem://?max_entries=N").
+func NewMem(maxEntries int) Store {
+	return &memStore{
+		max:     maxEntries,
+		entries: map[Key]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+func (s *memStore) Get(key Key) (*Artifact, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("store: mem: use after Close")
+	}
+	el, ok := s.entries[key]
+	var data []byte
+	if ok {
+		s.lru.MoveToFront(el)
+		data = el.Value.(*memEntry).data
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	gotKey, a, err := DecodeArtifact(data)
+	if err == nil && gotKey != key {
+		err = corrupt("entry %s holds key %s", key, gotKey)
+	}
+	if err != nil {
+		s.Delete(key)
+		return nil, fmt.Errorf("store: mem: entry %s: %w", key, err)
+	}
+	return a, nil
+}
+
+func (s *memStore) Put(key Key, a *Artifact) error {
+	data := EncodeArtifact(key, a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: mem: use after Close")
+	}
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*memEntry).data = data
+		s.lru.MoveToFront(el)
+		return nil
+	}
+	s.entries[key] = s.lru.PushFront(&memEntry{key: key, data: data})
+	for s.max > 0 && s.lru.Len() > s.max {
+		back := s.lru.Back()
+		delete(s.entries, back.Value.(*memEntry).key)
+		s.lru.Remove(back)
+	}
+	return nil
+}
+
+func (s *memStore) Delete(key Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: mem: use after Close")
+	}
+	if el, ok := s.entries[key]; ok {
+		delete(s.entries, key)
+		s.lru.Remove(el)
+	}
+	return nil
+}
+
+func (s *memStore) Len() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("store: mem: use after Close")
+	}
+	return s.lru.Len(), nil
+}
+
+func (s *memStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.entries = nil
+	s.lru = list.New()
+	return nil
+}
+
+// CorruptMemEntry overwrites the stored bytes for key when s is (or wraps
+// nothing but) a mem store — test support for exercising corrupt-entry
+// handling from other packages without reaching into a directory. Returns
+// false when s is not a mem store or holds no entry at key.
+func CorruptMemEntry(s Store, key Key, data []byte) bool {
+	m, ok := s.(*memStore)
+	if !ok {
+		return false
+	}
+	return m.corruptEntry(key, data)
+}
+
+// corruptEntry overwrites the stored bytes for key — test hook for
+// exercising the corrupt-entry path without reaching into a directory.
+func (s *memStore) corruptEntry(key Key, data []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if ok {
+		el.Value.(*memEntry).data = data
+	}
+	return ok
+}

@@ -1,0 +1,175 @@
+// Package store is the persistent (tier-2) artifact store behind the
+// Session cache: a content-addressed map from (graph fingerprint, option
+// digest) keys to serialized eigensolve artifacts — Fiedler vectors, the
+// spectral ordering derived from them and the solver statistics — that
+// survives the process. The in-memory pipeline.Cache is tier 1: it keys by
+// graph pointer and dies with the process; this package keys by content and
+// lets a daemon restart come up warm, replicas pool eigensolves through a
+// shared directory, and a second CLI run on the same matrix file skip the
+// solve entirely.
+//
+// Backends are selected by URL the way database/sql dispatches on driver
+// name: Open("fs:///var/cache/envorder") yields the on-disk backend,
+// Open("mem://") an in-process one, and Register adds third-party schemes
+// (redis, SQL, …) without touching callers. All backends speak the same
+// versioned binary serialization (see codec.go), so entries written by one
+// are readable by any other pointed at the same bytes.
+//
+// Failure philosophy: the store is an accelerator, never an authority. A
+// corrupt, truncated or unreadable entry is reported as an error for the
+// caller to count and is otherwise equivalent to a miss — the eigensolve
+// reruns and the entry is rewritten. No store outcome may change a result,
+// only its cost.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+// ErrNotFound reports a key with no stored entry — the one "failure" that
+// is pure cache semantics, not an error condition. Drivers must return it
+// (possibly wrapped) from Get and Delete on absent keys.
+var ErrNotFound = errors.New("store: entry not found")
+
+// ErrCorrupt is wrapped by Get when an entry exists but cannot be decoded
+// (truncation, version mismatch, trailing garbage, key mismatch). Callers
+// treat it as a miss plus a counted error; drivers are encouraged to drop
+// the entry so the next write starts clean.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// Key addresses one artifact entry: the canonical content fingerprint of
+// the (component) graph plus a digest of the eigensolver options that
+// parameterize the solve. Both halves are content-derived, so the same
+// matrix ordered with the same options maps to the same entry from any
+// process, replica or CLI run.
+type Key struct {
+	// Graph is the canonical SHA-256 CSR fingerprint (graph.FingerprintOf).
+	Graph graph.Fingerprint
+	// Opts digests the spectral options the artifacts are keyed by (seed,
+	// solver scheme and tolerances); see pipeline.StoreKeyFor.
+	Opts [32]byte
+}
+
+// String renders the key as "<graph-hex>-<opts-hex>" — stable, unique and
+// safe as a file or object name.
+func (k Key) String() string {
+	return fmt.Sprintf("%s-%x", k.Graph, k.Opts)
+}
+
+// Artifact is the persistent eigensolve record for one (graph, options)
+// key. HasFiedler/HasSpectral mark which stages are present: a Fiedler-only
+// entry is upgraded in place when the spectral ordering is later derived.
+//
+// Slices handed out by Get are owned by the caller's cache layer and
+// treated as read-only memoized values there; the store itself never
+// retains or mutates them after the call.
+type Artifact struct {
+	// N is the graph's vertex count — redundant with the slice lengths, but
+	// serialized so decoders can validate before allocating.
+	N int
+	// HasFiedler marks Fiedler/Stats as present.
+	HasFiedler bool
+	// Fiedler is the unit-norm Fiedler vector (length N).
+	Fiedler []float64
+	// Stats are the uniform solver statistics of the recorded solve.
+	Stats solver.Stats
+	// HasSpectral marks Perm/Esize/Reversed as present.
+	HasSpectral bool
+	// Perm is the Algorithm 1 spectral ordering (length N).
+	Perm []int32
+	// Esize is the winning direction's envelope size.
+	Esize int64
+	// Reversed reports whether the nonincreasing sort won.
+	Reversed bool
+}
+
+// Store is the tier-2 artifact driver interface. Implementations must be
+// safe for concurrent use by multiple goroutines; the fs backend is
+// additionally safe for concurrent use by multiple processes sharing one
+// directory (atomic write-then-rename, miss on racing eviction).
+type Store interface {
+	// Get returns the entry at key, ErrNotFound when absent, or an error
+	// (wrapping ErrCorrupt for undecodable entries). The returned Artifact
+	// and its slices are the caller's to own.
+	Get(key Key) (*Artifact, error)
+	// Put writes the entry at key, replacing any previous value. The
+	// artifact and its slices are not retained past the call.
+	Put(key Key, a *Artifact) error
+	// Delete removes the entry at key; deleting an absent key is a no-op.
+	Delete(key Key) error
+	// Len reports the number of stored entries.
+	Len() (int, error)
+	// Close releases the driver's resources. The Store is unusable after.
+	Close() error
+}
+
+// Driver opens a Store from a parsed URL; see Register.
+type Driver func(u *url.URL) (Store, error)
+
+var (
+	driversMu sync.Mutex
+	drivers   = map[string]Driver{}
+)
+
+// Register makes a driver available to Open under the given URL scheme
+// (case-insensitive). It panics on an empty scheme, a nil driver or a
+// scheme already taken — registration is an init-time act, like
+// database/sql's.
+func Register(scheme string, d Driver) {
+	scheme = strings.ToLower(scheme)
+	driversMu.Lock()
+	defer driversMu.Unlock()
+	if scheme == "" || d == nil {
+		panic("store: Register with empty scheme or nil driver")
+	}
+	if _, dup := drivers[scheme]; dup {
+		panic("store: Register called twice for scheme " + scheme)
+	}
+	drivers[scheme] = d
+}
+
+// Schemes returns the registered URL schemes, sorted.
+func Schemes() []string {
+	driversMu.Lock()
+	defer driversMu.Unlock()
+	out := make([]string, 0, len(drivers))
+	for s := range drivers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open dispatches on the URL scheme to a registered driver:
+//
+//	fs:///var/cache/envorder?max_bytes=1073741824   on-disk store
+//	mem://?max_entries=64                           in-process store
+//	/var/cache/envorder                             bare path = fs
+//
+// A string without "://" is shorthand for the fs driver on that path.
+func Open(rawurl string) (Store, error) {
+	if !strings.Contains(rawurl, "://") {
+		return openFS(rawurl, url.Values{})
+	}
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return nil, fmt.Errorf("store: bad URL %q: %w", rawurl, err)
+	}
+	scheme := strings.ToLower(u.Scheme)
+	driversMu.Lock()
+	d, ok := drivers[scheme]
+	driversMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: unknown scheme %q in %q (registered: %s)",
+			u.Scheme, rawurl, strings.Join(Schemes(), ", "))
+	}
+	return d(u)
+}

@@ -1,0 +1,343 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestOpenDispatch(t *testing.T) {
+	dir := t.TempDir()
+	cases := []string{
+		"fs://" + dir,
+		dir, // bare path shorthand
+		"mem://",
+		"mem://?max_entries=8",
+	}
+	for _, rawurl := range cases {
+		s, err := Open(rawurl)
+		if err != nil {
+			t.Errorf("Open(%q): %v", rawurl, err)
+			continue
+		}
+		s.Close()
+	}
+	if _, err := Open("redis://localhost"); err == nil {
+		t.Error("Open with unregistered scheme succeeded")
+	}
+	if _, err := Open("fs://" + dir + "?bogus=1"); err == nil {
+		t.Error("Open with unknown fs parameter succeeded")
+	}
+	if _, err := Open("mem://?max_entries=no"); err == nil {
+		t.Error("Open with bad max_entries succeeded")
+	}
+}
+
+func TestSchemesRegistered(t *testing.T) {
+	got := Schemes()
+	want := map[string]bool{"fs": false, "mem": false}
+	for _, s := range got {
+		if _, ok := want[s]; ok {
+			want[s] = true
+		}
+	}
+	for s, seen := range want {
+		if !seen {
+			t.Errorf("scheme %q not registered (got %v)", s, got)
+		}
+	}
+}
+
+// storeBehavior exercises the common Get/Put/Delete/Len contract against
+// any backend.
+func storeBehavior(t *testing.T, s Store) {
+	t.Helper()
+	key := testKey(1)
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store: err=%v, want ErrNotFound", err)
+	}
+	want := testArtifact()
+	if err := s.Put(key, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Get round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1, nil", n, err)
+	}
+	// Overwrite upgrades in place.
+	want2 := testArtifact()
+	want2.Stats.MatVecs = 999
+	if err := s.Put(key, want2); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	if got, err := s.Get(key); err != nil || got.Stats.MatVecs != 999 {
+		t.Errorf("overwrite not visible: got %+v, err %v", got, err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Errorf("Len after overwrite = %d, want 1", n)
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("Delete of absent key: %v, want nil", err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: err=%v, want ErrNotFound", err)
+	}
+	if n, _ := s.Len(); n != 0 {
+		t.Errorf("Len after Delete = %d, want 0", n)
+	}
+}
+
+func TestFSBehavior(t *testing.T) {
+	s, err := Open("fs://" + t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	storeBehavior(t, s)
+}
+
+func TestMemBehavior(t *testing.T) {
+	s, err := Open("mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	storeBehavior(t, s)
+}
+
+func TestFSPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(4)
+	want := testArtifact()
+
+	s1, err := Open("fs://" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// A fresh handle on the same directory — a "new process" — sees the
+	// entry.
+	s2, err := Open("fs://" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Get(key)
+	if err != nil {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("entry changed across reopen")
+	}
+}
+
+func TestFSCorruptEntryIsMissPlusError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open("fs://" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := testKey(7)
+	if err := s.Put(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key.String()+artExt)
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":        func(b []byte) []byte { return b[:len(b)/2] },
+		"version flipped":  func(b []byte) []byte { b[4] ^= 0xff; return b },
+		"trailing garbage": func(b []byte) []byte { return append(b, 0xca, 0xfe) },
+		"wrong key": func(b []byte) []byte {
+			return EncodeArtifact(testKey(8), testArtifact())
+		},
+	}
+	for name, mut := range corruptions {
+		if err := s.Put(key, testArtifact()); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, mut(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Get err=%v, want ErrCorrupt", name, err)
+		}
+		// The bad entry must be dropped so the next read is a clean miss.
+		if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s: second Get err=%v, want ErrNotFound (entry not dropped)", name, err)
+		}
+	}
+}
+
+func TestFSEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Budget sized to hold roughly two entries of this artifact's size.
+	one := int64(len(EncodeArtifact(testKey(0), testArtifact())))
+	s, err := Open(fmt.Sprintf("fs://%s?max_bytes=%d", dir, 2*one+one/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	keys := []Key{testKey(10), testKey(20), testKey(30), testKey(40)}
+	for _, k := range keys {
+		if err := s.Put(k, testArtifact()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 2 {
+		t.Errorf("Len after eviction = %d, want <= 2", n)
+	}
+	// The most recent write always survives.
+	if _, err := s.Get(keys[len(keys)-1]); err != nil {
+		t.Errorf("most recent entry evicted: %v", err)
+	}
+	if sz, err := s.(Sizer).SizeBytes(); err != nil || sz > 2*one+one/2 {
+		t.Errorf("SizeBytes = %d, %v; want <= budget %d", sz, err, 2*one+one/2)
+	}
+}
+
+func TestFSConcurrentAccess(t *testing.T) {
+	s, err := Open("fs://" + t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := testKey(byte(w % 3)) // overlap keys across goroutines
+			for i := 0; i < 20; i++ {
+				if err := s.Put(key, testArtifact()); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, err := s.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if i%7 == 0 {
+					if err := s.Delete(key); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestMemEviction(t *testing.T) {
+	s, err := Open("mem://?max_entries=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := byte(0); i < 4; i++ {
+		if err := s.Put(testKey(i), testArtifact()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := s.Len(); n != 2 {
+		t.Errorf("Len = %d, want 2", n)
+	}
+	if _, err := s.Get(testKey(3)); err != nil {
+		t.Errorf("most recent entry evicted: %v", err)
+	}
+	if _, err := s.Get(testKey(0)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("oldest entry survived: err=%v", err)
+	}
+}
+
+func TestMemCorruptEntry(t *testing.T) {
+	s := NewMem(0)
+	defer s.Close()
+	key := testKey(2)
+	if err := s.Put(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.(*memStore).corruptEntry(key, []byte("not an entry")) {
+		t.Fatal("corruptEntry found no entry")
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get err=%v, want ErrCorrupt", err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Get err=%v, want ErrNotFound (entry not dropped)", err)
+	}
+}
+
+func TestCountedStats(t *testing.T) {
+	var observed []string
+	c := NewCounted(NewMem(0), func(op string, seconds float64) {
+		if seconds < 0 {
+			t.Errorf("negative duration for %s", op)
+		}
+		observed = append(observed, op)
+	})
+	defer c.Close()
+	key := testKey(6)
+
+	if _, err := c.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := c.Put(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	c.Unwrap().(*memStore).corruptEntry(key, []byte("junk"))
+	if _, err := c.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on corrupt entry: %v", err)
+	}
+	if err := c.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+
+	got := c.Stats()
+	want := Stats{Hits: 1, Misses: 1, Puts: 1, Errors: 1}
+	if got != want {
+		t.Errorf("Stats = %+v, want %+v", got, want)
+	}
+	if r := got.HitRate(); r != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", r)
+	}
+	wantOps := []string{"get", "put", "get", "get", "delete"}
+	if !reflect.DeepEqual(observed, wantOps) {
+		t.Errorf("observed ops = %v, want %v", observed, wantOps)
+	}
+}
+
+func TestCountedZeroTraffic(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Errorf("HitRate with no traffic = %v, want 0", r)
+	}
+}

@@ -34,6 +34,16 @@ type SessionOptions struct {
 	// CacheGraphs bounds the per-graph artifact cache: > 0 sets the
 	// capacity, 0 means DefaultCacheGraphs, < 0 disables caching.
 	CacheGraphs int
+	// Store, when non-nil, is the persistent tier behind the in-memory
+	// cache (see OpenStore): cache misses probe it by content fingerprint
+	// before solving, successful solves are written back, and a corrupt or
+	// unreadable entry degrades to a miss — never a wrong answer. The
+	// session does not own the store: the caller opens it, may share it
+	// across sessions and processes, and closes it after the session is
+	// done. Setting Store implies an artifact cache even when CacheGraphs
+	// < 0 (the store is reached through it). See the package documentation
+	// ("Persistent artifact store") for the full contract.
+	Store Store
 }
 
 // Session is a reusable, goroutine-safe ordering service: it owns a
@@ -51,9 +61,16 @@ type SessionOptions struct {
 // called concurrently from any number of goroutines; concurrent calls on
 // the same graph share cached artifacts instead of repeating work.
 //
+// The in-memory cache is tier 1: keyed by graph pointer, it lives and dies
+// with the Session. SessionOptions.Store adds a persistent tier 2 keyed by
+// content fingerprint — tier-1 misses are filled from the store before
+// solving and solves are written back, so eigensolves survive restarts and
+// pool across processes sharing one store.
+//
 // Caching never changes results: every cached artifact is a pure function
 // of the graph and the options, so Session calls are byte-identical to the
-// uncached top-level functions (pinned by the shim-equivalence tests).
+// uncached top-level functions (pinned by the shim-equivalence tests) —
+// and store-warmed calls to both.
 type Session struct {
 	opt   SessionOptions
 	cache *pipeline.Cache
@@ -63,8 +80,11 @@ type Session struct {
 // SessionOptions value is valid.
 func NewSession(opt SessionOptions) *Session {
 	s := &Session{opt: opt}
-	if opt.CacheGraphs >= 0 {
+	if opt.CacheGraphs >= 0 || opt.Store != nil {
 		s.cache = pipeline.NewCache(opt.CacheGraphs)
+		if opt.Store != nil {
+			s.cache.SetStore(opt.Store)
+		}
 	}
 	return s
 }
@@ -262,11 +282,12 @@ func (s *Session) fiedler(ctx context.Context, g *Graph, opt core.Options) ([]fl
 	return core.FiedlerConnectedWS(ctx, ws, g, opt)
 }
 
-// Reset drops the session's artifact cache, releasing every graph,
-// subgraph and eigenvector it was pinning. Useful when a long-lived
+// Reset drops the session's in-memory artifact cache, releasing every
+// graph, subgraph and eigenvector it was pinning. Useful when a long-lived
 // Session (including the DefaultSession behind the top-level shims) has
 // finished with a working set of graphs and the memory should go back to
-// the collector.
+// the collector. The persistent store (SessionOptions.Store) is untouched:
+// a reset session re-warms from it by content instead of re-solving.
 func (s *Session) Reset() {
 	if s.cache != nil {
 		s.cache.Clear()
