@@ -1,0 +1,83 @@
+package envred_test
+
+import (
+	"context"
+	"testing"
+
+	envred "repro"
+)
+
+// batchBenchSuite is the 64-graph serving workload of the batch benchmarks:
+// small connected grids of varied aspect, the regime where per-call
+// overhead (allocation, validation, workspace checkout) rivals the cached
+// ordering work itself and batching has something to amortize.
+func batchBenchSuite() []*envred.Graph {
+	gs := make([]*envred.Graph, 0, 64)
+	for i := 0; i < 64; i++ {
+		gs = append(gs, grid(8+i%7, 9+i/4))
+	}
+	return gs
+}
+
+// warmBatchSession returns a session whose artifact cache holds every
+// suite graph — steady serving state, the regime both benchmarks measure.
+func warmBatchSession(b *testing.B, graphs []*envred.Graph) *envred.Session {
+	sess := envred.NewSession(envred.SessionOptions{Seed: benchSeed, CacheGraphs: len(graphs)})
+	for _, g := range graphs {
+		if _, err := sess.Order(context.Background(), g, "SPECTRAL"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sess
+}
+
+// BenchmarkOrderSingleton is the batch benchmark's baseline: the same
+// 64-graph warm-cache workload served one Session.Order call at a time —
+// the pre-batch serving shape whose per-call costs (result allocation,
+// permutation re-validation, workspace checkout) OrderBatch amortizes.
+func BenchmarkOrderSingleton(b *testing.B) {
+	graphs := batchBenchSuite()
+	sess := warmBatchSession(b, graphs)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			if _, err := sess.Order(ctx, g, "SPECTRAL"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(graphs))*float64(b.N)/b.Elapsed().Seconds(), "graphs/sec")
+}
+
+// BenchmarkOrderBatch measures Session.OrderBatch on the same workload with
+// recycled result slots — the steady-state batch loop. The acceptance gate
+// (cmd/benchjson -require) holds it to ≥ 1.5x BenchmarkOrderSingleton's
+// graphs/sec and 0 allocs/op.
+func BenchmarkOrderBatch(b *testing.B) {
+	graphs := batchBenchSuite()
+	sess := warmBatchSession(b, graphs)
+	ctx := context.Background()
+	opt := envred.BatchOptions{Algorithm: "SPECTRAL", Workers: 1}
+	results, err := sess.OrderBatch(ctx, graphs, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Results = results
+		results, err = sess.OrderBatch(ctx, graphs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for i := range results {
+		if results[i].Err != nil {
+			b.Fatal(results[i].Err)
+		}
+	}
+	b.ReportMetric(float64(len(graphs))*float64(b.N)/b.Elapsed().Seconds(), "graphs/sec")
+}

@@ -1,0 +1,98 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	envred "repro"
+)
+
+// BatchRequest parameterizes an OrderBatch call: one algorithm, one seed,
+// one server-side budget for the whole document. AUTO and WEIGHTED are
+// not batchable (the server rejects them with 400).
+type BatchRequest struct {
+	// Algorithm is the registered algorithm every item runs (required).
+	Algorithm string
+	// Seed fixes every item's randomness; 0 uses the server default.
+	Seed int64
+	// Timeout is the server-side budget for the whole batch. 0 uses the
+	// server default.
+	Timeout time.Duration
+	// Workers bounds the batch's server-side parallelism (0 = server
+	// default).
+	Workers int
+}
+
+// BatchItemError reports one failed batch item by its index in the
+// request's graph slice.
+type BatchItemError struct {
+	Index   int    `json:"index"`
+	Message string `json:"error"`
+}
+
+func (e *BatchItemError) Error() string {
+	return fmt.Sprintf("envorderd: batch item %d: %s", e.Index, e.Message)
+}
+
+// BatchResult is the /v1/order/batch reply: Results[i] answers the i-th
+// graph of the request (nil when that item failed — its failure is in
+// Errors), all in one round trip.
+type BatchResult struct {
+	Algorithm string            `json:"algorithm"`
+	Count     int               `json:"count"`
+	Failed    int               `json:"failed"`
+	Results   []*OrderResult    `json:"results"`
+	Errors    []*BatchItemError `json:"errors,omitempty"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+// batchWire mirrors the server's batch request document; graphs ship as
+// inline Matrix Market text, the same encoding Order uses.
+type batchWire struct {
+	Algorithm string          `json:"algorithm"`
+	Seed      int64           `json:"seed,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Workers   int             `json:"workers,omitempty"`
+	Items     []batchItemWire `json:"items"`
+}
+
+type batchItemWire struct {
+	MatrixMarket string `json:"matrix_market"`
+}
+
+// OrderBatch orders many graphs with one algorithm in a single round
+// trip — the high-throughput path for suites of matrices. Items are
+// independent on the server: a failed item is reported in the result's
+// Errors and the rest complete. The call itself errors only when the
+// whole document is rejected (unknown algorithm, oversize batch) or the
+// exchange fails.
+func (c *Client) OrderBatch(ctx context.Context, graphs []*envred.Graph, req BatchRequest) (*BatchResult, error) {
+	doc := batchWire{
+		Algorithm: req.Algorithm,
+		Seed:      req.Seed,
+		Workers:   req.Workers,
+		Items:     make([]batchItemWire, len(graphs)),
+	}
+	if req.Timeout > 0 {
+		doc.TimeoutMS = req.Timeout.Milliseconds()
+	}
+	for i, g := range graphs {
+		body, err := graphBody(g)
+		if err != nil {
+			return nil, fmt.Errorf("client: batch item %d: %w", i, err)
+		}
+		doc.Items[i].MatrixMarket = string(body)
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	var out BatchResult
+	if err := c.call(ctx, http.MethodPost, "/v1/order/batch", "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,58 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	envred "repro"
+	"repro/client"
+	"repro/internal/service"
+)
+
+// TestOrderBatchRoundTrip pins the typed batch API end to end: one
+// OrderBatch call orders every graph, results align by index and each
+// equals the local library's answer for the same (algorithm, seed).
+func TestOrderBatchRoundTrip(t *testing.T) {
+	ts := newService(t, service.Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	graphs := []*envred.Graph{envred.Grid(12, 9), envred.Grid(6, 17), envred.Grid(8, 8)}
+
+	sess := envred.NewSession(envred.SessionOptions{Seed: 5})
+	res, err := c.OrderBatch(ctx, graphs, client.BatchRequest{Algorithm: "spectral", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != len(graphs) || res.Failed != 0 || len(res.Results) != len(graphs) {
+		t.Fatalf("count=%d failed=%d results=%d", res.Count, res.Failed, len(res.Results))
+	}
+	for i, item := range res.Results {
+		want, err := sess.Order(ctx, graphs[i], envred.AlgSpectral)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item == nil || item.Algorithm != envred.AlgSpectral || item.N != graphs[i].N() {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+		for k := range item.Perm {
+			if item.Perm[k] != want.Perm[k] {
+				t.Fatalf("item %d: perm[%d] = %d, library says %d", i, k, item.Perm[k], want.Perm[k])
+			}
+		}
+		if item.Envelope.Esize != want.Stats.Esize {
+			t.Fatalf("item %d: esize %d, want %d", i, item.Envelope.Esize, want.Stats.Esize)
+		}
+	}
+}
+
+// TestOrderBatchRejection pins the typed error for unbatchable documents.
+func TestOrderBatchRejection(t *testing.T) {
+	ts := newService(t, service.Config{})
+	c := client.New(ts.URL)
+	_, err := c.OrderBatch(context.Background(), []*envred.Graph{envred.Grid(4, 4)}, client.BatchRequest{Algorithm: "auto"})
+	var aerr *client.APIError
+	if !errors.As(err, &aerr) || aerr.StatusCode != 400 {
+		t.Fatalf("want 400 *APIError, got %v", err)
+	}
+}

@@ -31,6 +31,11 @@
 // performs zero solves and -stats json reports the store traffic
 // (hits/misses/puts/errors) alongside eigensolves=0.
 //
+// With -batch, every positional argument is a Matrix Market file and all
+// of them are ordered with one registered algorithm through the pipelined
+// batch API (Session.OrderBatch; with -remote, one POST /v1/order/batch
+// round trip), reporting a per-file table or one JSON array (-stats json).
+//
 // With -remote URL the ordering runs on an envorderd daemon instead of in
 // process: the graph is loaded locally, shipped over the typed client
 // (repro/client), and the daemon's permutation and envelope parameters are
@@ -96,8 +101,29 @@ func main() {
 		remote    = flag.String("remote", "", "order on an envorderd daemon at this base URL instead of in process")
 		apiKey    = flag.String("api-key", "", "API key for -remote daemons running with -api-keys")
 		storeURL  = flag.String("store", "", "persistent artifact store URL (fs:///path?max_bytes=N, mem://): reuse eigensolves across runs")
+		batch     = flag.Bool("batch", false, "order every positional Matrix Market file in one batch (Session.OrderBatch locally, POST /v1/order/batch with -remote)")
 	)
 	flag.Parse()
+
+	if *batch {
+		switch {
+		case *method == "" && *alg == "":
+			*method = "spectral"
+		case *method == "":
+			*method = *alg
+		}
+		if flag.NArg() == 0 {
+			log.Fatal("-batch needs one or more Matrix Market files as arguments")
+		}
+		if *mmFile != "" || *hbFile != "" || *problem != "" || *grid != "" {
+			log.Fatal("-batch takes its inputs as positional files; -mm/-hb/-problem/-grid do not apply")
+		}
+		if *weighted || *bounds || *spyFlag || *out != "" || *portfolio != "" {
+			log.Fatal("-weighted, -bounds, -spy, -out and -portfolio do not apply to -batch")
+		}
+		runBatch(flag.Args(), *method, *seed, *budget, *stats, *remote, *apiKey, *storeURL)
+		return
+	}
 
 	switch {
 	case *method == "" && *alg == "":

@@ -79,6 +79,30 @@
 // lazily-initialized DefaultSession and stay byte-identical to their
 // pre-Session outputs (pinned by the shim-equivalence golden test).
 //
+// # Batch ordering
+//
+// Session.OrderBatch is the throughput path: many graphs, one registered
+// algorithm, one call. Items are independent — each BatchResult carries
+// either the uniform Result or that item's error — and every permutation
+// is byte-identical to a sequential Session.Order on the same graph, seed
+// and options (pinned by test). The win is amortization, not semantics:
+// a persistent pool of workers (BatchOptions.Workers, default GOMAXPROCS)
+// holds one scratch workspace each across the whole batch, cache-eligible
+// spectral items run a fast path that reuses the Session's memoized
+// eigensolves and envelope statistics, and recycling the Results slice
+// across calls makes the warm steady state allocation-free (0 allocs/op,
+// gated by BenchmarkOrderBatch in CI):
+//
+//	results, err := sess.OrderBatch(ctx, graphs, envred.BatchOptions{
+//		Algorithm: envred.AlgSpectral,
+//		Seed:      1,
+//		Results:   results, // recycled from the previous batch, may be nil
+//	})
+//
+// The same path serves POST /v1/order/batch on cmd/envorderd (one JSON
+// document in, aligned results and per-item errors out), client.OrderBatch
+// on the typed client, and envorder -batch on the CLI.
+//
 // # Persistent artifact store
 //
 // The Session's in-memory cache is tier 1: keyed by graph pointer, gone
@@ -186,7 +210,16 @@
 // goroutines shared process-wide, engaged automatically above the
 // laplacian.MinRowsPerWorker / MinNnzPerWorker thresholds (the tunable
 // parallel-crossover knobs) or by explicit request, with the chosen
-// fan-out reported as SolveStats.Workers through every layer.
+// fan-out reported as SolveStats.Workers through every layer. The operator
+// also picks its storage layout per graph (laplacian.Auto/AutoFrom): above
+// laplacian.SellMinRows rows it is repacked into a SELL-C-σ sliced-ELLPACK
+// layout (laplacian.NewSell; rows degree-sorted within σ-windows, packed
+// into 8-row column-major slices) whose branch-free inner loop carries
+// eight independent accumulator chains where CSR's per-row loop has one;
+// smaller graphs keep plain CSR, whose packing cost would not amortize.
+// Every layout/parallel combination is bitwise-identical — selection is
+// purely a speed decision. Builds with GOAMD64=v3 swap the innermost
+// linalg kernels for FMA variants (see linalg.KernelISA).
 //
 // The workspace contract: a workspace must not be shared across goroutines,
 // and buffers obtained from one are only valid until the matching release —

@@ -46,8 +46,9 @@ var (
 // same Op is fine).
 type ParallelOp struct {
 	op      *Op
+	sell    *Sell // non-nil: slice-layout kernel, starts index slices
 	workers int
-	starts  []int // worker w owns rows starts[w]:starts[w+1]
+	starts  []int // worker w owns rows (or slices) starts[w]:starts[w+1]
 	wg      sync.WaitGroup
 
 	// Per-Apply operands published to the pool workers. Written before the
@@ -96,16 +97,7 @@ func poolStart() {
 func NewParallelOp(op *Op, workers int) *ParallelOp {
 	n := op.Dim()
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		byRows := n / MinRowsPerWorker
-		byNnz := len(op.G.Adj) / MinNnzPerWorker
-		maxW := byRows
-		if byNnz > maxW {
-			maxW = byNnz
-		}
-		if workers > maxW {
-			workers = maxW
-		}
+		workers = AutoWorkers(n, len(op.G.Adj))
 	}
 	if workers > n {
 		workers = n
@@ -128,6 +120,69 @@ func NewParallelOp(op *Op, workers int) *ParallelOp {
 	return &ParallelOp{op: op, workers: workers, starts: starts}
 }
 
+// NewParallelSell wraps a Sell slice operator with a parallel Apply: the
+// partition unit is the slice (never splitting a slice's eight lanes),
+// balanced by stored entries exactly as NewParallelOp balances rows by
+// nonzeros. The semantics of workers match NewParallelOp: positive counts
+// are explicit requests clamped only to the slice count, workers ≤ 0
+// selects by the AutoWorkers heuristic. The rest rows (final partial
+// slice) ride with the last block. Bitwise identity to the serial Sell —
+// and so to the CSR Op — holds for any worker count: slices are merely
+// distributed, never re-reduced.
+func NewParallelSell(s *Sell, workers int) *ParallelOp {
+	units := len(s.kmin)
+	if workers <= 0 {
+		workers = AutoWorkers(s.Dim(), s.nnz)
+	}
+	if workers > units {
+		workers = units
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	starts := make([]int, workers+1)
+	slice := 0
+	done := 0
+	for w := 1; w < workers; w++ {
+		target := s.nnz * w / workers
+		for slice < units && done < target {
+			done += s.sliceEntries(slice)
+			slice++
+		}
+		starts[w] = slice
+	}
+	starts[workers] = units
+	return &ParallelOp{op: s.op, sell: s, workers: workers, starts: starts}
+}
+
+// AutoWorkers is the one worker-count heuristic every layer shares: the
+// number of SpMV workers the auto path engages for an operator with the
+// given row and stored-nonzero counts — GOMAXPROCS capped by the
+// MinRowsPerWorker/MinNnzPerWorker thresholds (one worker per
+// MinRowsPerWorker rows OR MinNnzPerWorker nonzeros, whichever grants
+// more), never below one. NewParallelOp/NewParallelSell auto paths,
+// pipeline solve-concurrency accounting and the service all derive from
+// this single function instead of re-implementing the thresholds.
+func AutoWorkers(rows, nnz int) int {
+	w := runtime.GOMAXPROCS(0)
+	byRows := rows / MinRowsPerWorker
+	byNnz := nnz / MinNnzPerWorker
+	maxW := byRows
+	if byNnz > maxW {
+		maxW = byNnz
+	}
+	if w > maxW {
+		w = maxW
+	}
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Dim returns the number of vertices.
 func (p *ParallelOp) Dim() int { return p.op.Dim() }
 
@@ -138,10 +193,21 @@ func (p *ParallelOp) Workers() int { return p.workers }
 // qprev is set) from the published operands.
 func (p *ParallelOp) runBlock(b int) {
 	lo, hi := p.starts[b], p.starts[b+1]
-	if p.qprev == nil {
+	switch {
+	case p.sell == nil && p.qprev == nil:
 		p.op.applyRange(p.x, p.y, lo, hi)
-	} else {
+	case p.sell == nil:
 		p.op.applyAxpyRange(p.x, p.y, p.beta, p.qprev, lo, hi)
+	case p.qprev == nil:
+		p.sell.applySlices(p.x, p.y, lo, hi)
+		if hi == len(p.sell.kmin) {
+			p.sell.applyRest(p.x, p.y)
+		}
+	default:
+		p.sell.applyAxpySlices(p.x, p.y, p.beta, p.qprev, lo, hi)
+		if hi == len(p.sell.kmin) {
+			p.sell.applyAxpyRest(p.x, p.y, p.beta, p.qprev)
+		}
 	}
 }
 
@@ -162,7 +228,11 @@ func (p *ParallelOp) dispatch(x, y []float64, beta float64, qprev []float64) {
 // Apply computes y = L·x using all workers.
 func (p *ParallelOp) Apply(x, y []float64) {
 	if p.workers == 1 {
-		p.op.Apply(x, y)
+		if p.sell != nil {
+			p.sell.Apply(x, y)
+		} else {
+			p.op.Apply(x, y)
+		}
 		return
 	}
 	p.dispatch(x, y, 0, nil)
@@ -173,7 +243,11 @@ func (p *ParallelOp) Apply(x, y []float64) {
 // linalg.AxpyApplier).
 func (p *ParallelOp) ApplyAxpy(x, y []float64, beta float64, qprev []float64) {
 	if p.workers == 1 {
-		p.op.ApplyAxpy(x, y, beta, qprev)
+		if p.sell != nil {
+			p.sell.ApplyAxpy(x, y, beta, qprev)
+		} else {
+			p.op.ApplyAxpy(x, y, beta, qprev)
+		}
 		return
 	}
 	p.dispatch(x, y, beta, qprev)
@@ -207,14 +281,22 @@ var (
 	_ Interface = (*Weighted)(nil)
 )
 
-// Auto returns the Laplacian of g with the matvec parallelized when the
-// graph is large enough to profit (NewParallelOp's auto path falls back to
-// one worker below its thresholds).
+// Auto returns the Laplacian of g in the layout and parallel shape the
+// heuristics select: the SELL-C-σ slice layout above SellMinRows rows
+// (its packing pass amortizes across an eigensolve's many matvecs),
+// plain CSR below, with the matvec parallelized when the graph is large
+// enough to profit (AutoWorkers falls back to one worker below its
+// thresholds). Every layout/parallel combination is bitwise-identical —
+// selection is purely a speed decision.
 func Auto(g *graph.Graph) Interface {
-	return NewParallelOp(New(g), 0)
+	return AutoFrom(g, make([]float64, g.N()))
 }
 
 // AutoFrom is Auto with a caller-provided degree buffer (see NewFrom).
 func AutoFrom(g *graph.Graph, deg []float64) Interface {
-	return NewParallelOp(NewFrom(g, deg), 0)
+	op := NewFrom(g, deg)
+	if g.N() >= SellMinRows {
+		return NewParallelSell(NewSell(op), 0)
+	}
+	return NewParallelOp(op, 0)
 }

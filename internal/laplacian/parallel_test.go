@@ -203,15 +203,17 @@ func TestParallelDelegates(t *testing.T) {
 	}
 }
 
-// BenchmarkSpMV is the serial-vs-parallel SpMV ablation the
+// BenchmarkSpMV is the layout × parallelism SpMV ablation the
 // BENCH_pipeline.json artifact carries: the same Laplacian matvec at
-// n ≈ 20k and n ≈ 200k rows, serially and through the persistent worker
-// pool under the auto heuristics. CI requires all four rows to be present
-// (cmd/benchjson -require). The "workers" metric on the parallel rows
-// records the fan-out actually engaged: on a single-core host the auto
-// path selects 1 worker and the parallel rows measure the same serial
-// kernel (any delta is run noise) — the ablation only carries signal
-// where workers > 1.
+// n ≈ 20k and n ≈ 200k rows, in the CSR row layout and the SELL-C-σ
+// slice layout, serially and through the persistent worker pool under
+// the auto heuristics. CI requires all eight rows to be present
+// (cmd/benchjson -require) and gates the csr-vs-sell serial ratio at
+// n=200k. The "workers" metric on the parallel rows records the fan-out
+// actually engaged: on a single-core host the auto path selects 1 worker
+// and the parallel rows measure the same serial kernel (any delta is run
+// noise) — the parallel axis only carries signal where workers > 1; the
+// layout axis carries signal everywhere.
 func BenchmarkSpMV(b *testing.B) {
 	sizes := []struct {
 		name string
@@ -228,18 +230,33 @@ func BenchmarkSpMV(b *testing.B) {
 			x[i] = float64(i % 17)
 		}
 		op := New(sz.g)
-		b.Run("serial/"+sz.name, func(b *testing.B) {
+		sell := NewSell(op)
+		b.Run("csr/serial/"+sz.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.Apply(x, y)
 			}
 		})
+		b.Run("sell/serial/"+sz.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sell.Apply(x, y)
+			}
+		})
 		pop := NewParallelOp(op, 0)
-		b.Run("parallel/"+sz.name, func(b *testing.B) {
+		b.Run("csr/parallel/"+sz.name, func(b *testing.B) {
 			b.ReportMetric(float64(pop.Workers()), "workers")
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pop.Apply(x, y)
+			}
+		})
+		psell := NewParallelSell(sell, 0)
+		b.Run("sell/parallel/"+sz.name, func(b *testing.B) {
+			b.ReportMetric(float64(psell.Workers()), "workers")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				psell.Apply(x, y)
 			}
 		})
 	}

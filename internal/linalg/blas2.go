@@ -16,10 +16,38 @@ import "math"
 // where the memory-bandwidth win over the one-vector-at-a-time loop comes
 // from.
 
+// Kernel dispatch: the hottest BLAS-2/fused-BLAS-1 entry points route
+// through function variables initialized to the portable 4-wide scalar
+// implementations below. Architecture-gated files (see blas2_amd64v3.go,
+// build tag amd64.v3) replace them at init with variants exploiting
+// instructions the portable baseline cannot assume — under the default
+// GOAMD64 level the gated files are not even compiled, so the fallback is
+// exactly the historical scalar path. KernelISA reports which set is
+// live. The indirect call costs one branch per kernel invocation against
+// O(k·n) work inside — unmeasurable.
+//
+// Numerics: within any single binary the kernels are deterministic, and
+// every portable build computes bit-for-bit what previous releases did. A
+// GOAMD64=v3 binary may round differently (FMA fuses the multiply-add
+// into one rounding); results remain deterministic within that binary.
+var (
+	gemvTImpl   = gemvTPortable
+	gemvImpl    = gemvPortable
+	dotAxpyImpl = dotAxpyPortable
+	kernelISA   = "portable"
+)
+
+// KernelISA reports which kernel implementation set is live:
+// "portable" for the scalar baseline, "amd64.v3+fma" when the
+// GOAMD64=v3 build tag swapped in the FMA variants at init.
+func KernelISA() string { return kernelISA }
+
 // GemvT computes c[j] = q_jᵀ·w for j in 0..k-1, where q_j is row j of the
 // row-major k×n matrix q. In the columns-are-basis-vectors view this is
 // c = Qᵀw. c must have length ≥ k; q must have length ≥ k·n.
-func GemvT(c, q []float64, k, n int, w []float64) {
+func GemvT(c, q []float64, k, n int, w []float64) { gemvTImpl(c, q, k, n, w) }
+
+func gemvTPortable(c, q []float64, k, n int, w []float64) {
 	w = w[:n]
 	j := 0
 	for ; j+4 <= k; j += 4 {
@@ -113,7 +141,9 @@ func OrthoMGS(w, q []float64, k, n int, c []float64) float64 {
 // row-major k×n matrix q — out = Q·c in the column view. The Lanczos engine
 // uses it to assemble the Ritz vector from the tridiagonal eigenvector.
 // c is read-only.
-func Gemv(out, q []float64, k, n int, c []float64) {
+func Gemv(out, q []float64, k, n int, c []float64) { gemvImpl(out, q, k, n, c) }
+
+func gemvPortable(out, q []float64, k, n int, c []float64) {
 	out = out[:n]
 	Fill(out, 0)
 	j := 0
@@ -135,7 +165,9 @@ func Gemv(out, q []float64, k, n int, c []float64) {
 // DotAxpy computes z += a·x and returns yᵀz (of the updated z) in a single
 // streaming pass — the fusion of Axpy and Dot that the MINRES Lanczos step
 // uses for w −= β·v_old; α = vᵀw.
-func DotAxpy(a float64, x, y, z []float64) float64 {
+func DotAxpy(a float64, x, y, z []float64) float64 { return dotAxpyImpl(a, x, y, z) }
+
+func dotAxpyPortable(a float64, x, y, z []float64) float64 {
 	var s float64
 	z = z[:len(x)]
 	y = y[:len(x)]

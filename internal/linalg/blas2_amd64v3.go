@@ -1,0 +1,101 @@
+//go:build amd64.v3
+
+package linalg
+
+import "math"
+
+// GOAMD64=v3 kernel variants. The v3 microarchitecture level guarantees
+// FMA3, so math.FMA compiles to a single VFMADD instruction here instead
+// of the portable soft-float fallback — each accumulation step becomes
+// one fused multiply-add with a single rounding, which both shortens the
+// dependency chain and tightens the numerics. The unroll widens to eight
+// lanes: v3 cores retire two FMAs per cycle, so eight independent
+// accumulators cover the 4-cycle latency where the portable 4-wide
+// unroll leaves half the slots empty.
+//
+// Build with GOAMD64=v3 (or v4) to compile this file; the lint CI job
+// builds it on every push so the gated code cannot rot. Results within a
+// v3 binary are deterministic; they may differ in the last ulp from the
+// portable build (FMA's single rounding) — see the dispatch note in
+// blas2.go.
+
+func init() {
+	gemvTImpl = gemvTAVX
+	gemvImpl = gemvAVX
+	dotAxpyImpl = dotAxpyFMA
+	kernelISA = "amd64.v3+fma"
+}
+
+func gemvTAVX(c, q []float64, k, n int, w []float64) {
+	w = w[:n]
+	j := 0
+	for ; j+8 <= k; j += 8 {
+		q0 := q[(j+0)*n:][:n]
+		q1 := q[(j+1)*n:][:n]
+		q2 := q[(j+2)*n:][:n]
+		q3 := q[(j+3)*n:][:n]
+		q4 := q[(j+4)*n:][:n]
+		q5 := q[(j+5)*n:][:n]
+		q6 := q[(j+6)*n:][:n]
+		q7 := q[(j+7)*n:][:n]
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for i, wi := range w {
+			s0 = math.FMA(q0[i], wi, s0)
+			s1 = math.FMA(q1[i], wi, s1)
+			s2 = math.FMA(q2[i], wi, s2)
+			s3 = math.FMA(q3[i], wi, s3)
+			s4 = math.FMA(q4[i], wi, s4)
+			s5 = math.FMA(q5[i], wi, s5)
+			s6 = math.FMA(q6[i], wi, s6)
+			s7 = math.FMA(q7[i], wi, s7)
+		}
+		c[j], c[j+1], c[j+2], c[j+3] = s0, s1, s2, s3
+		c[j+4], c[j+5], c[j+6], c[j+7] = s4, s5, s6, s7
+	}
+	for ; j < k; j++ {
+		qj := q[j*n:][:n]
+		var s float64
+		for i, wi := range w {
+			s = math.FMA(qj[i], wi, s)
+		}
+		c[j] = s
+	}
+}
+
+func gemvAVX(out, q []float64, k, n int, c []float64) {
+	out = out[:n]
+	Fill(out, 0)
+	j := 0
+	for ; j+4 <= k; j += 4 {
+		q0 := q[(j+0)*n:][:n]
+		q1 := q[(j+1)*n:][:n]
+		q2 := q[(j+2)*n:][:n]
+		q3 := q[(j+3)*n:][:n]
+		c0, c1, c2, c3 := c[j], c[j+1], c[j+2], c[j+3]
+		for i := range out {
+			s := math.FMA(c0, q0[i], out[i])
+			s = math.FMA(c1, q1[i], s)
+			s = math.FMA(c2, q2[i], s)
+			out[i] = math.FMA(c3, q3[i], s)
+		}
+	}
+	for ; j < k; j++ {
+		qj := q[j*n:][:n]
+		cj := c[j]
+		for i := range out {
+			out[i] = math.FMA(cj, qj[i], out[i])
+		}
+	}
+}
+
+func dotAxpyFMA(a float64, x, y, z []float64) float64 {
+	var s float64
+	z = z[:len(x)]
+	y = y[:len(x)]
+	for i, xi := range x {
+		zi := math.FMA(a, xi, z[i])
+		z[i] = zi
+		s = math.FMA(y[i], zi, s)
+	}
+	return s
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/envelope"
 	"repro/internal/graph"
 	"repro/internal/lanczos"
 	"repro/internal/laplacian"
@@ -75,6 +76,8 @@ type Artifacts struct {
 	spectralOrd   perm.Perm
 	spectralEsize int64
 	spectralRev   bool
+	envDone       bool
+	envStats      envelope.Stats
 
 	rootOnce sync.Once
 	root     int
@@ -312,6 +315,34 @@ func (a *Artifacts) Spectral(ctx context.Context, ws *scratch.Workspace) (o perm
 	a.mu.Unlock()
 	a.tier2Save()
 	return o, esize, reversed, st, nil
+}
+
+// SpectralStats is Spectral plus the full envelope statistics of the
+// memoized ordering, themselves memoized: the statistics are a pure
+// function of (component graph, memoized ordering), so like every other
+// artifact they are computed at most once and identical to what
+// envelope.Compute reports on the same ordering. This is what lets the
+// batch fast path serve a warm graph without repeating the O(n+nnz)
+// envelope scan per request. Concurrent first calls may both run the scan
+// (outside the memo semaphore, each in its own workspace) and store the
+// same value — harmless by purity.
+func (a *Artifacts) SpectralStats(ctx context.Context, ws *scratch.Workspace) (o perm.Perm, stats envelope.Stats, reversed bool, st solver.Stats, err error) {
+	o, _, reversed, st, err = a.Spectral(ctx, ws)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	if a.envDone {
+		stats = a.envStats
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	stats = envelope.ComputeInto(ws, a.g, o)
+	a.mu.Lock()
+	a.envStats, a.envDone = stats, true
+	a.mu.Unlock()
+	return
 }
 
 // fiedlerReport snapshots the memoized eigensolve outcome for the run

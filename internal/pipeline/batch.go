@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/scratch"
+)
+
+// This file is the engine room of Session.OrderBatch: a package-level pool
+// of persistent batch workers, each parked on a task channel with its own
+// warm scratch workspace, plus the allocation-free run descriptor that
+// fans a batch of independent items across them. Unlike runPool (the
+// portfolio engine's per-call goroutine fan-out), nothing here is spawned
+// per call: the goroutines persist, the workspaces stay checked out, and
+// the descriptors recycle through a sync.Pool — so the steady-state batch
+// loop allocates nothing, which the BenchmarkOrderBatch alloc gate pins.
+
+// BatchRunner is the per-item callback RunBatch drives: RunItem is invoked
+// exactly once for each index in [0, count), possibly concurrently from
+// multiple workers, with a workspace private to the calling worker for the
+// duration of the item. Implementations must treat distinct items as
+// independent (no cross-item ordering is guaranteed).
+type BatchRunner interface {
+	RunItem(i int, ws *scratch.Workspace)
+}
+
+// batchRun is the pooled descriptor of one RunBatch call: the runner, an
+// atomic next-item cursor every participating worker draws from (work
+// stealing without per-item channel traffic), and the completion barrier.
+type batchRun struct {
+	r     BatchRunner
+	next  atomic.Int32
+	count int32
+	wg    sync.WaitGroup
+}
+
+var batchRunPool = sync.Pool{New: func() any { return new(batchRun) }}
+
+// batchPool is the persistent worker pool shared by every RunBatch call in
+// the process: GOMAXPROCS goroutines started on first use, each parked on
+// the task channel holding a permanently checked-out scratch workspace —
+// the warm-up the batch path amortizes across requests.
+var batchPool struct {
+	once  sync.Once
+	tasks chan *batchRun
+}
+
+func batchPoolStart() {
+	n := runtime.GOMAXPROCS(0)
+	batchPool.tasks = make(chan *batchRun, 8*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			ws := scratch.Get() // held for the goroutine's lifetime
+			for run := range batchPool.tasks {
+				run.drain(ws)
+				run.wg.Done()
+			}
+		}()
+	}
+}
+
+// drain draws items off the run's cursor until none remain.
+func (run *batchRun) drain(ws *scratch.Workspace) {
+	for {
+		i := run.next.Add(1) - 1
+		if i >= run.count {
+			return
+		}
+		run.r.RunItem(int(i), ws)
+	}
+}
+
+// RunBatch drives r.RunItem over every index in [0, count) using up to
+// `workers` concurrent executors: the calling goroutine plus parked pool
+// workers (workers ≤ 0 means GOMAXPROCS). Helper recruitment is
+// non-blocking — if the pool's queue is saturated by other batches the
+// call simply proceeds with fewer helpers, the caller itself guaranteeing
+// progress. Returns when every item has run. Steady state allocates
+// nothing.
+func RunBatch(workers, count int, r BatchRunner) {
+	if count <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers == 1 {
+		ws := scratch.Get()
+		for i := 0; i < count; i++ {
+			r.RunItem(i, ws)
+		}
+		scratch.Put(ws)
+		return
+	}
+	run := batchRunPool.Get().(*batchRun)
+	run.r = r
+	run.count = int32(count)
+	run.next.Store(0)
+	batchPool.once.Do(batchPoolStart)
+	run.wg.Add(workers - 1)
+	for h := 1; h < workers; h++ {
+		select {
+		case batchPool.tasks <- run:
+		default:
+			run.wg.Done() // pool saturated: run with fewer helpers
+		}
+	}
+	ws := scratch.Get()
+	run.drain(ws)
+	scratch.Put(ws)
+	run.wg.Wait()
+	run.r = nil
+	batchRunPool.Put(run)
+}

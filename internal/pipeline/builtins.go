@@ -55,12 +55,14 @@ func plain(o perm.Perm, err error) (Result, error) {
 	return Result{Perm: o}, err
 }
 
-// connectedInfo reconstructs the exact core.Info a whole-graph spectral run
-// reports on a connected graph from the memoized artifact state, so the
-// artifact-backed path (Session.Do on a connected graph) stays field-
-// identical to core.SpectralWS — the shim-equivalence contract.
-func connectedInfo(st solver.Stats, reversed bool) *core.Info {
-	return &core.Info{
+// FillConnectedInfo writes into info the exact core.Info a whole-graph
+// spectral run reports on a connected graph, reconstructed from the
+// memoized artifact state — the fill-style core of connectedInfo, exported
+// so the batch executor can back Result.Info with storage it reuses
+// across items instead of allocating per call. Every field of info is
+// overwritten.
+func FillConnectedInfo(info *core.Info, st solver.Stats, reversed bool) {
+	*info = core.Info{
 		Lambda2:    st.Lambda,
 		Residual:   st.Residual,
 		Reversed:   reversed,
@@ -69,6 +71,15 @@ func connectedInfo(st solver.Stats, reversed bool) *core.Info {
 		MatVecs:    st.MatVecs,
 		Solve:      st,
 	}
+}
+
+// connectedInfo is FillConnectedInfo into a fresh allocation, so the
+// artifact-backed path (Session.Do on a connected graph) stays field-
+// identical to core.SpectralWS — the shim-equivalence contract.
+func connectedInfo(st solver.Stats, reversed bool) *core.Info {
+	info := new(core.Info)
+	FillConnectedInfo(info, st, reversed)
+	return info
 }
 
 // failedInfo mirrors the core.Info a whole-graph spectral run reports when

@@ -26,6 +26,10 @@ type metrics struct {
 	cacheMisses counter
 	// jobs by terminal {status}: done|failed.
 	jobs *counterVec
+	// batches counts /v1/order/batch documents served (their per-item
+	// outcomes land in orders above, so orders_total keeps meaning
+	// "orderings" whether they arrived alone or batched).
+	batches counter
 	// latency distributions, in seconds. eigensolve observes only orders
 	// that actually ran a fresh eigensolve (spectral-family algorithm on a
 	// non-interned graph), so it tracks solver latency, not cache serving.
@@ -63,6 +67,8 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "envorderd_cache_hits_total %d\n", m.cacheHits.value())
 	writeHeader(w, "envorderd_cache_misses_total", "counter", "Order/fiedler requests that interned a new graph.")
 	fmt.Fprintf(w, "envorderd_cache_misses_total %d\n", m.cacheMisses.value())
+	writeHeader(w, "envorderd_batches_total", "counter", "Batch ordering documents served (per-item outcomes count in envorderd_orders_total).")
+	fmt.Fprintf(w, "envorderd_batches_total %d\n", m.batches.value())
 	writeHeader(w, "envorderd_jobs_total", "counter", "Async jobs finished, by terminal status.")
 	m.jobs.writeTo(w, "envorderd_jobs_total")
 	writeHeader(w, "envorderd_order_seconds", "histogram", "End-to-end ordering latency (queueing included).")

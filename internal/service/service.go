@@ -4,6 +4,7 @@
 // Endpoints (all JSON unless noted):
 //
 //	POST /v1/order              synchronous ordering (graph in body)
+//	POST /v1/order/batch        many graphs, one algorithm, one round trip
 //	POST /v1/jobs               submit an async ordering job → job id
 //	GET  /v1/jobs/{id}          poll job status
 //	GET  /v1/jobs/{id}/result   fetch the finished job's ordering
@@ -228,6 +229,7 @@ func (s *Server) newTenant(name string) *tenant {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/order", s.auth(s.handleOrder))
+	s.mux.HandleFunc("POST /v1/order/batch", s.auth(s.handleOrderBatch))
 	s.mux.HandleFunc("POST /v1/jobs", s.auth(s.handleJobSubmit))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.auth(s.handleJobStatus))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth(s.handleJobResult))
