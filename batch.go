@@ -138,6 +138,14 @@ func (b *orderBatch) RunItem(i int, ws *scratch.Workspace) {
 	slot.Result, slot.Err = res, err
 }
 
+// ItemPanicked implements pipeline.BatchPanicHandler: a panic while
+// running item i (outside the orderer call, which Session.do already
+// guards) becomes that item's error, leaving the other items and the
+// persistent pool workers untouched.
+func (b *orderBatch) ItemPanicked(i int, err error) {
+	b.results[i] = BatchResult{Err: err}
+}
+
 // runFast serves one item from the session's memoized whole-graph
 // SPECTRAL artifacts without allocating: the ordering is copied into the
 // slot's recycled Perm buffer, Solve/Info are backed by slot-owned

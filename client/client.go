@@ -12,6 +12,7 @@ import (
 	"time"
 
 	envred "repro"
+	"repro/internal/retry"
 )
 
 // Client talks to an envorderd daemon. Create with New; zero-value
@@ -36,8 +37,10 @@ func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
 // WithRetries sets the retry budget for transient failures (network
-// errors and retryable 5xx replies) and the base backoff, which doubles
-// per attempt. The default is 3 retries starting at 100ms.
+// errors and retryable 5xx replies) and the base backoff. Delays use full
+// jitter: each wait is uniform in [0, min(cap, base·2^attempt)), so a
+// thundering herd of clients retries spread out instead of in lockstep.
+// The default is 3 retries starting at 100ms.
 func WithRetries(max int, base time.Duration) Option {
 	return func(c *Client) {
 		c.maxRetries = max
@@ -137,6 +140,23 @@ type APIError struct {
 	// run still produced a usable ordering, carried in Perm.
 	BestSoFar bool
 	Perm      envred.Perm
+}
+
+// Retryable reports whether the reply is worth retrying — the marker the
+// shared transient-failure classifier (and so the Client's own retry
+// loop) consults: gateway errors (502/504) and 503s that carry no final
+// best-so-far answer are transient; a 503 with a best-so-far ordering is
+// a final (partial) answer, and plain 500s are deterministic server-side
+// failures that would just fail again.
+func (e *APIError) Retryable() bool {
+	switch e.StatusCode {
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	case http.StatusServiceUnavailable:
+		return !e.BestSoFar
+	default:
+		return false
+	}
 }
 
 func (e *APIError) Error() string {
@@ -340,9 +360,14 @@ func (c *Client) call(ctx context.Context, method, path, contentType string, bod
 
 // do performs one HTTP exchange with the retry/backoff policy: network
 // errors and retryable 5xx replies (502/504, and 503s that do not carry a
-// final best-so-far answer) are retried up to the budget with exponential
-// backoff; bodies are byte slices, so every attempt replays cleanly.
+// final best-so-far answer) are retried up to the budget with full-jitter
+// backoff (see WithRetries); bodies are byte slices, so every attempt
+// replays cleanly. The waits are deadline-aware: a ctx whose deadline
+// cannot outlive the next backoff fails now with the last real error
+// instead of sleeping into it, and cancellation interrupts a wait
+// immediately.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (*http.Response, error) {
+	pol := retry.Policy{Base: c.backoff}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, bytes.NewReader(body))
@@ -358,10 +383,14 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		resp, err := c.hc.Do(req)
 		switch {
 		case err != nil:
-			lastErr = err
+			if ctx.Err() != nil {
+				// The caller gave up; don't dress cancellation as a failure.
+				return nil, ctx.Err()
+			}
+			lastErr = err // network errors are transient by construction
 		case resp.StatusCode >= 500:
 			aerr := apiErrorOf(resp) // drains and closes the body
-			if !retryable(aerr) {
+			if !retry.Transient(aerr) {
 				return nil, aerr
 			}
 			lastErr = aerr
@@ -371,25 +400,9 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if attempt >= c.maxRetries {
 			return nil, fmt.Errorf("client: %s %s failed after %d attempt(s): %w", method, path, attempt+1, lastErr)
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(c.backoff << attempt):
+		if err := retry.Sleep(ctx, pol.Delay(attempt)); err != nil {
+			return nil, fmt.Errorf("client: %s %s: %w (last failure: %v)", method, path, err, lastErr)
 		}
-	}
-}
-
-// retryable reports whether a 5xx reply is worth retrying: 503s carrying
-// a best-so-far ordering are a final (partial) answer, and plain 500s are
-// deterministic server-side failures that would just fail again.
-func retryable(e *APIError) bool {
-	switch e.StatusCode {
-	case http.StatusBadGateway, http.StatusGatewayTimeout:
-		return true
-	case http.StatusServiceUnavailable:
-		return !e.BestSoFar
-	default:
-		return false
 	}
 }
 

@@ -89,19 +89,22 @@ func runBatch(files []string, method string, seed int64, budget time.Duration, s
 		}
 	} else {
 		opts := envred.SessionOptions{Seed: seed, CacheGraphs: len(graphs)}
+		var resil *envred.ResilientStore
 		if storeURL != "" {
 			st, err := envred.OpenStore(storeURL)
 			if err != nil {
 				log.Fatalf("opening -store %s: %v", storeURL, err)
 			}
 			defer st.Close()
-			opts.Store = st
+			resil = envred.NewResilientStore(st, envred.ResilienceOptions{})
+			opts.Store = resil
 		}
 		sess := envred.NewSession(opts)
 		results, err := sess.OrderBatch(ctx, graphs, envred.BatchOptions{Algorithm: method, Seed: seed})
 		if err != nil {
 			log.Fatal(err)
 		}
+		warnDegradedStore(resil)
 		for i := range results {
 			if rerr := results[i].Err; rerr != nil {
 				log.Printf("%s: %v", files[i], rerr)

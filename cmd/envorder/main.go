@@ -212,13 +212,17 @@ func main() {
 	}
 
 	var counted *envred.CountedStore
+	var resil *envred.ResilientStore
 	if *storeURL != "" {
 		st, err := envred.OpenStore(*storeURL)
 		if err != nil {
 			log.Fatalf("opening -store %s: %v", *storeURL, err)
 		}
 		defer st.Close()
-		counted = envred.NewCountedStore(st, nil)
+		// Default resilience: a flaky store degrades the run to cache-cold
+		// solving (warned below) instead of failing or stalling it.
+		resil = envred.NewResilientStore(st, envred.ResilienceOptions{})
+		counted = envred.NewCountedStore(resil, nil)
 	}
 
 	solvesBefore := core.EigensolveCount()
@@ -242,8 +246,9 @@ func main() {
 		log.Fatalf("internal error: invalid permutation: %v", err)
 	}
 	s := envelope.Compute(g, p)
+	warnDegradedStore(resil)
 	if strings.EqualFold(*stats, "json") {
-		if err := writeStatsJSON(os.Stdout, name, g, *method, elapsed, s, info, report, solves, counted); err != nil {
+		if err := writeStatsJSON(os.Stdout, name, g, *method, elapsed, s, info, report, solves, counted, resil); err != nil {
 			log.Fatal(err)
 		}
 		if *out != "" {
@@ -338,7 +343,7 @@ func runRemote(g *graph.Graph, name, baseURL, apiKey, method string, seed int64,
 	}
 	if strings.EqualFold(stats, "json") {
 		if err := writeStatsJSON(os.Stdout, name+" (remote)", g, res.Algorithm,
-			time.Duration(res.ElapsedMS*float64(time.Millisecond)), s, nil, nil, 0, nil); err != nil {
+			time.Duration(res.ElapsedMS*float64(time.Millisecond)), s, nil, nil, 0, nil, nil); err != nil {
 			log.Fatal(err)
 		}
 	} else {
@@ -461,15 +466,41 @@ type runStats struct {
 }
 
 // storeStatsJSON is the -store traffic record, stable snake_case names.
+// The resilience fields report the fault-tolerance layer wrapped around
+// every -store backend: breaker position and the retry/timeout/drop
+// counters of this run.
 type storeStatsJSON struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
-	Puts   int64 `json:"puts"`
-	Errors int64 `json:"errors"`
+	Hits       int64  `json:"hits"`
+	Misses     int64  `json:"misses"`
+	Puts       int64  `json:"puts"`
+	Errors     int64  `json:"errors"`
+	Breaker    string `json:"breaker,omitempty"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	Retries    int64  `json:"retries,omitempty"`
+	Timeouts   int64  `json:"timeouts,omitempty"`
+	PutDrops   int64  `json:"put_drops,omitempty"`
+	Trips      int64  `json:"breaker_trips,omitempty"`
+	Recoveries int64  `json:"breaker_recoveries,omitempty"`
+}
+
+// warnDegradedStore prints one stderr line when the -store backend
+// misbehaved during the run: the ordering itself is unaffected (solves
+// simply ran cold / writebacks were dropped), but the operator should
+// know the persistent tier is not pulling its weight.
+func warnDegradedStore(resil *envred.ResilientStore) {
+	if resil == nil {
+		return
+	}
+	rs := resil.Stats()
+	if !rs.Degraded && rs.Trips == 0 && rs.Retries == 0 && rs.Timeouts == 0 && rs.PutDrops == 0 {
+		return
+	}
+	log.Printf("warning: -store degraded (breaker=%s, retries=%d, timeouts=%d, dropped writes=%d, trips=%d; last error: %s) — results are unaffected, but artifacts may not persist",
+		rs.State, rs.Retries, rs.Timeouts, rs.PutDrops, rs.Trips, rs.LastError)
 }
 
 func writeStatsJSON(w io.Writer, name string, g *graph.Graph, method string, elapsed time.Duration,
-	s envelope.Stats, info *envred.SpectralInfo, report *envred.AutoReport, solves int64, counted *envred.CountedStore) error {
+	s envelope.Stats, info *envred.SpectralInfo, report *envred.AutoReport, solves int64, counted *envred.CountedStore, resil *envred.ResilientStore) error {
 	doc := runStats{
 		Matrix:      name,
 		N:           g.N(),
@@ -484,6 +515,16 @@ func writeStatsJSON(w io.Writer, name string, g *graph.Graph, method string, ela
 	if counted != nil {
 		st := counted.Stats()
 		doc.Store = &storeStatsJSON{Hits: st.Hits, Misses: st.Misses, Puts: st.Puts, Errors: st.Errors}
+		if resil != nil {
+			rs := resil.Stats()
+			doc.Store.Breaker = rs.State.String()
+			doc.Store.Degraded = rs.Degraded
+			doc.Store.Retries = rs.Retries
+			doc.Store.Timeouts = rs.Timeouts
+			doc.Store.PutDrops = rs.PutDrops
+			doc.Store.Trips = rs.Trips
+			doc.Store.Recoveries = rs.Recoveries
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -9,7 +9,8 @@
 //	GET  /v1/jobs/{id}/result   job result
 //	GET  /v1/algorithms         registered algorithms
 //	GET|POST /v1/fiedler        Fiedler vector + λ2
-//	GET  /healthz               liveness
+//	GET  /healthz               liveness (always 200 while serving)
+//	GET  /readyz                readiness: store breaker state + counters
 //	GET  /metrics               Prometheus text metrics
 //
 // Graphs are posted as raw Matrix Market bodies (algorithm, seed and
@@ -29,6 +30,15 @@
 // envorderd_store_seconds latency histogram. Store entries are
 // content-addressed, so a restarted daemon answers repeat matrices with
 // cached=true and zero eigensolves.
+//
+// The store always runs behind a resilience layer: per-operation timeouts
+// (-store-timeout), capped jittered retries for transient failures
+// (-store-retries) and a circuit breaker (-store-breaker-threshold,
+// -store-breaker-probe) that trips a failing backend out of the request
+// path — the daemon keeps serving from its in-memory caches, /readyz
+// reports "degraded", and the breaker half-opens to probe for recovery.
+// The chaos:// store scheme (chaos://fs:///path?err_rate=0.2&seed=7)
+// wraps any backend with deterministic fault injection for drills.
 //
 // With -addr ending in :0 the kernel picks a free port; the daemon prints
 // the bound address and, with -ready-file, writes it to a file once the
@@ -78,6 +88,10 @@ func main() {
 		tenantCap = flag.Int("tenant-concurrency", 0, "per-tenant in-flight ordering budget (0 = 4x workers, -1 = unlimited)")
 		seed      = flag.Int64("seed", 1, "default ordering seed")
 		storeURL  = flag.String("store", "", "persistent artifact store URL (fs:///path?max_bytes=N, mem://); empty = in-memory caching only")
+		storeTO   = flag.Duration("store-timeout", 0, "per-operation store timeout (0 = 2s, -1ns = none)")
+		storeRet  = flag.Int("store-retries", 0, "store retries after a transient failure (0 = 2, -1 = none)")
+		storeBrk  = flag.Int("store-breaker-threshold", 0, "consecutive store failures that trip the circuit breaker (0 = 5, -1 = never)")
+		storePrb  = flag.Duration("store-breaker-probe", 0, "how long an open breaker waits before probing the store again (0 = 5s)")
 		grace     = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 		readyFile = flag.String("ready-file", "", "write the bound address to this file once listening")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
@@ -102,7 +116,16 @@ func main() {
 			log.Fatalf("opening -store %s: %v", *storeURL, err)
 		}
 		defer st.Close()
-		cfg.Store = st
+		// Every daemon store runs behind the resilience layer: a slow or
+		// dead backend degrades to cache-only serving (breaker state on
+		// /readyz and /metrics) instead of stalling request threads.
+		cfg.Store = envred.NewResilientStore(st, envred.ResilienceOptions{
+			OpTimeout:        *storeTO,
+			Retries:          *storeRet,
+			BreakerThreshold: *storeBrk,
+			BreakerProbe:     *storePrb,
+			Logf:             cfg.Logf,
+		})
 	}
 	if *apiKeys != "" {
 		cfg.APIKeys = map[string]string{}

@@ -74,6 +74,14 @@
 // SPECTRAL+SLOAN, WEIGHTED) self-register at init; Algorithms() lists the
 // current set.
 //
+// Plugin code is isolated: an Orderer that panics fails its call, never
+// the process. Session.Order returns a *PanicError carrying the panic
+// value and stack, a panicking candidate inside an Auto portfolio loses
+// only its own slot (the race completes with the surviving candidates and
+// the report records the error), and a panicking batch item fails only
+// its BatchResult. The worker pools behind all three survive and keep
+// serving subsequent calls.
+//
 // The historical one-shot functions (Spectral, SpectralSloan,
 // WeightedSpectral, Auto, Fiedler, RCM, ...) remain as thin shims over a
 // lazily-initialized DefaultSession and stay byte-identical to their
@@ -130,6 +138,15 @@
 // backend writes one file per entry with atomic write-then-rename and
 // oldest-first size-bounded eviction (?max_bytes), and mem:// is an
 // in-process LRU for tests and single-process pooling.
+//
+// For production use, wrap the backend in NewResilientStore: it adds
+// per-operation timeouts, capped full-jitter retries of transient errors
+// (ErrStoreTransient, or anything exposing Retryable() bool), and a
+// circuit breaker that fast-fails traffic to a repeatedly-failing backend
+// and probes it periodically until it recovers — ResilientStore.Stats
+// reports the breaker state and counters. The chaos:// driver wraps any
+// inner store URL with deterministic seeded fault injection for testing
+// this layer (see internal/store for the knobs).
 //
 // # Choosing an ordering
 //

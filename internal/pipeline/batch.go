@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,17 @@ type BatchRunner interface {
 	RunItem(i int, ws *scratch.Workspace)
 }
 
+// BatchPanicHandler is optionally implemented by a BatchRunner that wants
+// a panicking item delivered as that item's error: ItemPanicked(i, err)
+// receives the recovered *PanicError, possibly concurrently from several
+// workers. Runners that do not implement it keep panic semantics — the
+// first item panic is re-raised from RunBatch on the caller's goroutine —
+// but either way the persistent pool workers and the completion barrier
+// survive: a panic can fail an item or the call, never strand the pool.
+type BatchPanicHandler interface {
+	ItemPanicked(i int, err error)
+}
+
 // batchRun is the pooled descriptor of one RunBatch call: the runner, an
 // atomic next-item cursor every participating worker draws from (work
 // stealing without per-item channel traffic), and the completion barrier.
@@ -34,6 +46,9 @@ type batchRun struct {
 	next  atomic.Int32
 	count int32
 	wg    sync.WaitGroup
+	// pan holds the first recovered item panic when the runner is not a
+	// BatchPanicHandler, re-raised on the RunBatch caller after the barrier.
+	pan atomic.Pointer[PanicError]
 }
 
 var batchRunPool = sync.Pool{New: func() any { return new(batchRun) }}
@@ -68,8 +83,25 @@ func (run *batchRun) drain(ws *scratch.Workspace) {
 		if i >= run.count {
 			return
 		}
-		run.r.RunItem(int(i), ws)
+		run.runItem(int(i), ws)
 	}
+}
+
+// runItem guards one item with panic isolation: a panicking RunItem must
+// not kill a persistent pool worker or skip the wg.Done that the batch's
+// completion barrier is counting on.
+func (run *batchRun) runItem(i int, ws *scratch.Workspace) {
+	defer func() {
+		if p := recover(); p != nil {
+			perr := Recovered(fmt.Sprintf("batch item %d", i), p)
+			if h, ok := run.r.(BatchPanicHandler); ok {
+				h.ItemPanicked(i, perr)
+				return
+			}
+			run.pan.CompareAndSwap(nil, perr)
+		}
+	}()
+	run.r.RunItem(i, ws)
 }
 
 // RunBatch drives r.RunItem over every index in [0, count) using up to
@@ -89,31 +121,33 @@ func RunBatch(workers, count int, r BatchRunner) {
 	if workers > count {
 		workers = count
 	}
-	if workers == 1 {
-		ws := scratch.Get()
-		for i := 0; i < count; i++ {
-			r.RunItem(i, ws)
-		}
-		scratch.Put(ws)
-		return
-	}
 	run := batchRunPool.Get().(*batchRun)
 	run.r = r
 	run.count = int32(count)
 	run.next.Store(0)
-	batchPool.once.Do(batchPoolStart)
-	run.wg.Add(workers - 1)
-	for h := 1; h < workers; h++ {
-		select {
-		case batchPool.tasks <- run:
-		default:
-			run.wg.Done() // pool saturated: run with fewer helpers
+	run.pan.Store(nil)
+	if workers > 1 {
+		batchPool.once.Do(batchPoolStart)
+		run.wg.Add(workers - 1)
+		for h := 1; h < workers; h++ {
+			select {
+			case batchPool.tasks <- run:
+			default:
+				run.wg.Done() // pool saturated: run with fewer helpers
+			}
 		}
 	}
 	ws := scratch.Get()
 	run.drain(ws)
 	scratch.Put(ws)
 	run.wg.Wait()
+	pan := run.pan.Load()
 	run.r = nil
 	batchRunPool.Put(run)
+	if pan != nil {
+		// The runner declined per-item delivery: re-raise the first item
+		// panic here, on the caller's goroutine, after the barrier — the
+		// pool workers and the other items are already safe.
+		panic(pan)
+	}
 }

@@ -51,6 +51,10 @@ import (
 // return promptly (with ctx.Err() or a *lanczos.ErrCancelled) once it is
 // cancelled. Only Result.Perm and optionally Result.Solve and Result.Info
 // need to be filled in; the engine computes Stats, Algorithm and Elapsed.
+//
+// A panic in an implementation fails the call, not the process: every
+// engine entry point (Session.Order, the portfolio race, batch workers)
+// recovers it into a *PanicError carrying the value and stack.
 type Orderer interface {
 	Order(ctx context.Context, g *graph.Graph, req *OrderRequest) (Result, error)
 }

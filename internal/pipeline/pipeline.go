@@ -315,7 +315,9 @@ func Auto(g *graph.Graph, opt Options) (perm.Perm, Report, error) {
 			Workspace: ws,
 		}
 		t0 := time.Now()
-		ores, err := orderers[t.ai].Order(taskCtx, w.sub, &req)
+		// SafeOrder: a registered Orderer that panics surfaces as this
+		// candidate's error, never as a dead pool worker.
+		ores, err := SafeOrder(taskCtx, orderers[t.ai], names[t.ai], w.sub, &req)
 		o := ores.Perm
 		slot.Seconds = time.Since(t0).Seconds()
 		slot.Solve = ores.Solve

@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/scratch"
+)
+
+func TestSafeOrderConvertsPanic(t *testing.T) {
+	g := graph.Path(6)
+	bomb := OrdererFunc(func(ctx context.Context, g *graph.Graph, req *OrderRequest) (Result, error) {
+		panic("boom 42")
+	})
+	_, err := SafeOrder(context.Background(), bomb, "BOMB", g, &OrderRequest{})
+	if err == nil {
+		t.Fatal("SafeOrder swallowed the panic without an error")
+	}
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T is not a *PanicError", err)
+	}
+	if perr.Op != "orderer BOMB" || perr.Value != "boom 42" {
+		t.Fatalf("PanicError{Op: %q, Value: %v}", perr.Op, perr.Value)
+	}
+	if len(perr.Stack) == 0 || !strings.Contains(string(perr.Stack), "recover_test") {
+		t.Fatal("PanicError carries no useful stack")
+	}
+	if !strings.Contains(err.Error(), "boom 42") {
+		t.Fatalf("error text %q hides the panic value", err.Error())
+	}
+}
+
+func TestSafeOrderPassesThroughCleanRuns(t *testing.T) {
+	g := graph.Path(5)
+	ident := OrdererFunc(func(ctx context.Context, g *graph.Graph, req *OrderRequest) (Result, error) {
+		res := Result{Perm: make([]int32, g.N())}
+		for i := range res.Perm {
+			res.Perm[i] = int32(i)
+		}
+		return res, nil
+	})
+	res, err := SafeOrder(context.Background(), ident, "IDENT", g, &OrderRequest{})
+	if err != nil || len(res.Perm) != g.N() {
+		t.Fatalf("clean run: res=%v err=%v", res, err)
+	}
+}
+
+// panicBatch panics on selected items; with handler=true it implements
+// BatchPanicHandler and collects per-item errors.
+type panicBatch struct {
+	panicAt map[int]bool
+	handler bool
+	ran     []atomic.Bool
+
+	mu   sync.Mutex
+	errs map[int]error
+}
+
+func (b *panicBatch) RunItem(i int, ws *scratch.Workspace) {
+	b.ran[i].Store(true)
+	if b.panicAt[i] {
+		panic("item blew up")
+	}
+}
+
+func (b *panicBatch) ItemPanicked(i int, err error) {
+	if !b.handler {
+		panic("ItemPanicked called on non-handler runner")
+	}
+	b.mu.Lock()
+	b.errs[i] = err
+	b.mu.Unlock()
+}
+
+// bareBatch narrows panicBatch to the BatchRunner interface alone (a
+// plain field, not an embed, so ItemPanicked is not promoted) — RunBatch
+// must fall back to re-raising.
+type bareBatch struct{ b *panicBatch }
+
+func (b bareBatch) RunItem(i int, ws *scratch.Workspace) { b.b.RunItem(i, ws) }
+
+func TestRunBatchPanicToHandler(t *testing.T) {
+	const n = 32
+	b := &panicBatch{
+		panicAt: map[int]bool{3: true, 17: true},
+		handler: true,
+		ran:     make([]atomic.Bool, n),
+		errs:    map[int]error{},
+	}
+	RunBatch(4, n, b)
+	for i := 0; i < n; i++ {
+		if !b.ran[i].Load() {
+			t.Fatalf("item %d never ran", i)
+		}
+	}
+	if len(b.errs) != 2 {
+		t.Fatalf("got %d item errors, want 2: %v", len(b.errs), b.errs)
+	}
+	for i, err := range b.errs {
+		var perr *PanicError
+		if !errors.As(err, &perr) || perr.Value != "item blew up" {
+			t.Fatalf("item %d error %v is not the recovered panic", i, err)
+		}
+	}
+
+	// The persistent pool survived: a clean batch on the same workers.
+	c := &panicBatch{handler: true, ran: make([]atomic.Bool, n), errs: map[int]error{}}
+	RunBatch(4, n, c)
+	for i := 0; i < n; i++ {
+		if !c.ran[i].Load() {
+			t.Fatalf("post-panic batch: item %d never ran", i)
+		}
+	}
+	if len(c.errs) != 0 {
+		t.Fatalf("post-panic batch reported errors: %v", c.errs)
+	}
+}
+
+func TestRunBatchPanicReRaisedWithoutHandler(t *testing.T) {
+	const n = 16
+	b := &panicBatch{panicAt: map[int]bool{5: true}, ran: make([]atomic.Bool, n)}
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		RunBatch(2, n, bareBatch{b})
+	}()
+	perr, ok := recovered.(*PanicError)
+	if !ok || perr.Value != "item blew up" {
+		t.Fatalf("RunBatch re-raised %v, want the recovered *PanicError", recovered)
+	}
+	// Every item still ran: one panic fails the call, not the barrier.
+	for i := 0; i < n; i++ {
+		if !b.ran[i].Load() {
+			t.Fatalf("item %d skipped after the panic", i)
+		}
+	}
+
+	// And the pool is intact afterwards.
+	c := &panicBatch{handler: true, ran: make([]atomic.Bool, n), errs: map[int]error{}}
+	RunBatch(2, n, c)
+	for i := 0; i < n; i++ {
+		if !c.ran[i].Load() {
+			t.Fatalf("post-panic batch: item %d never ran", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package retry is the module's one retry vocabulary: full-jitter capped
+// exponential backoff, context-aware sleeping that never parks past a
+// deadline, and the retryable-vs-final error classification that the HTTP
+// client and the tier-2 store resilience layer both dispatch on. Keeping
+// these in one place means a transient store fault and a retryable HTTP
+// status are backed off and classified by exactly the same rules.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// retryable is the marker interface Transient classifies by: an error (or
+// any error in its Unwrap chain) that knows whether retrying can help
+// implements it. store.ErrTransient and the client's APIError both do.
+type retryable interface {
+	Retryable() bool
+}
+
+// Transient reports whether err is worth retrying. Context cancellation
+// and deadline expiry are always final — the caller has given up, so
+// retrying on their behalf would outlive the request. Otherwise the error
+// chain is searched for a Retryable() marker; errors that carry no opinion
+// are final, because blind retries against a deterministic failure only
+// multiply its cost.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var r retryable
+	if errors.As(err, &r) {
+		return r.Retryable()
+	}
+	return false
+}
+
+// Policy parameterizes full-jitter exponential backoff: attempt k draws a
+// delay uniformly from [0, min(Cap, Base·2^k)). Full jitter (rather than
+// equal-jitter or bare exponential) is what decorrelates a thundering herd
+// of clients that all failed at the same instant.
+type Policy struct {
+	// Base is the backoff ceiling of attempt 0; it doubles per attempt.
+	// Zero or negative means 20ms.
+	Base time.Duration
+	// Cap bounds the ceiling regardless of attempt count. Zero or negative
+	// means 1s.
+	Cap time.Duration
+	// Rand, when non-nil, replaces the uniform [0,1) source — deterministic
+	// tests pin it. Must be safe for concurrent use if the Policy is shared.
+	Rand func() float64
+}
+
+// Delay returns the randomized backoff before retry number attempt
+// (0-based: the delay between the first failure and the second try is
+// Delay(0)).
+func (p Policy) Delay(attempt int) time.Duration {
+	base, cap := p.Base, p.Cap
+	if base <= 0 {
+		base = 20 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = time.Second
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < cap; i++ {
+		ceil <<= 1
+	}
+	if ceil > cap {
+		ceil = cap
+	}
+	f := p.Rand
+	if f == nil {
+		f = rand.Float64
+	}
+	return time.Duration(f() * float64(ceil))
+}
+
+// Sleep parks for d, honoring ctx: it returns ctx.Err() immediately on
+// cancellation, and — the part a bare timer select gets wrong — it refuses
+// to start a sleep the context's deadline cannot survive, returning
+// context.DeadlineExceeded up front instead of burning the request's last
+// budget inside a backoff pause.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

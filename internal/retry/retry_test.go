@@ -1,0 +1,103 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+type marked struct{ r bool }
+
+func (m marked) Error() string   { return "marked" }
+func (m marked) Retryable() bool { return m.r }
+
+func TestTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("boom"), false},
+		{"marked retryable", marked{true}, true},
+		{"marked final", marked{false}, false},
+		{"wrapped retryable", fmt.Errorf("op: %w", marked{true}), true},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"canceled wrapping retryable", fmt.Errorf("%w: %w", context.Canceled, marked{true}), false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("%s: Transient = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDelayFullJitter(t *testing.T) {
+	// Rand pinned to its supremum: Delay returns (just under) the ceiling,
+	// so the doubling and the cap are observable.
+	p := Policy{Base: 10 * time.Millisecond, Cap: 75 * time.Millisecond, Rand: func() float64 { return 0.999999 }}
+	want := []time.Duration{10, 20, 40, 75, 75} // ms ceilings per attempt
+	for i, w := range want {
+		got := p.Delay(i)
+		ceil := w * time.Millisecond
+		if got >= ceil || got < ceil-time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want just under %v", i, got, ceil)
+		}
+	}
+	// Rand at zero: full jitter legitimately reaches zero delay.
+	p.Rand = func() float64 { return 0 }
+	if got := p.Delay(3); got != 0 {
+		t.Errorf("Delay with zero Rand = %v, want 0", got)
+	}
+}
+
+func TestDelayDefaults(t *testing.T) {
+	p := Policy{Rand: func() float64 { return 0.5 }}
+	if got := p.Delay(0); got != 10*time.Millisecond {
+		t.Errorf("default Delay(0) = %v, want 10ms (half of the 20ms base)", got)
+	}
+	if got := p.Delay(100); got != 500*time.Millisecond {
+		t.Errorf("default Delay(100) = %v, want 500ms (half of the 1s cap)", got)
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Sleep parked %v past cancellation", elapsed)
+	}
+}
+
+func TestSleepRefusesToOutliveDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Sleep = %v, want context.DeadlineExceeded", err)
+	}
+	// The refusal must be immediate, not a park until the deadline.
+	if elapsed := time.Since(start); elapsed > 15*time.Millisecond {
+		t.Fatalf("Sleep waited %v instead of refusing up front", elapsed)
+	}
+}
+
+func TestSleepZeroAndExpired(t *testing.T) {
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0) = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+}

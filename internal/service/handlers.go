@@ -590,12 +590,66 @@ func (s *Server) handleFiedler(w http.ResponseWriter, r *http.Request, tnt *tena
 	})
 }
 
+// handleHealthz is the liveness probe: always 200 while the process can
+// answer HTTP. A degraded persistent store is reported in the body but
+// never fails liveness — the daemon keeps serving from its in-memory
+// caches; restarting it would only throw those away too. Readiness detail
+// lives on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"in_flight":      s.m.inFlight.value(),
-	})
+	}
+	if s.resilient != nil {
+		doc["store"] = s.resilient.State().String()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleReadyz is the readiness probe. Like /healthz it always answers
+// 200 — an open store breaker means cache-only operation, not an
+// unservable daemon, so readiness reports "degraded" in the body instead
+// of flapping the probe — but the body carries the full breaker detail:
+// position, failure streak, retry/timeout/drop counters, and the last
+// error, failure and healthy-op timestamps.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	doc := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"in_flight":      s.m.inFlight.value(),
+	}
+	switch {
+	case s.resilient != nil:
+		rs := s.resilient.Stats()
+		storeDoc := map[string]any{
+			"breaker":              rs.State.String(),
+			"consecutive_failures": rs.ConsecutiveFailures,
+			"retries":              rs.Retries,
+			"timeouts":             rs.Timeouts,
+			"fast_fails":           rs.FastFails,
+			"put_drops":            rs.PutDrops,
+			"trips":                rs.Trips,
+			"recoveries":           rs.Recoveries,
+		}
+		if rs.LastError != "" {
+			storeDoc["last_error"] = rs.LastError
+		}
+		if !rs.LastFailure.IsZero() {
+			storeDoc["last_failure_unix_ms"] = rs.LastFailure.UnixMilli()
+		}
+		if !rs.LastSuccess.IsZero() {
+			storeDoc["last_success_unix_ms"] = rs.LastSuccess.UnixMilli()
+		}
+		doc["store"] = storeDoc
+		if rs.Degraded {
+			doc["status"] = "degraded"
+		}
+	case s.store != nil:
+		// A store without the resilience wrapper has no breaker to report.
+		doc["store"] = map[string]any{"breaker": "none"}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/pipeline"
 )
 
 // Job states, as reported by GET /v1/jobs/{id}.
@@ -148,6 +150,22 @@ func (s *Server) submitJob(j *job) *apiError {
 	}
 }
 
+// runJob executes one job's ordering with panic isolation: a panic
+// anywhere in the request path (the orderer call itself is already
+// guarded inside the Session) fails this job with a *pipeline.PanicError
+// instead of killing the drainer goroutine — the worker pool outlives any
+// misbehaving registered algorithm.
+func (s *Server) runJob(ctx context.Context, j *job) (resp *orderResponse, fail *apiError) {
+	defer func() {
+		if p := recover(); p != nil {
+			err := pipeline.Recovered("job "+j.id, p)
+			s.logf("job %s panicked: %v", j.id, err)
+			resp, fail = nil, &apiError{Status: http.StatusInternalServerError, Message: err.Error()}
+		}
+	}()
+	return s.runOrder(ctx, j.tenant, j.payload)
+}
+
 // jobWorker drains the job queue until Shutdown closes it. Each job runs
 // under the server's base context (forced shutdown cancels it) plus the
 // job's own timeout; the ordering itself is bounded by the shared solve
@@ -165,7 +183,7 @@ func (s *Server) jobWorker() {
 		if j.payload.timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, j.payload.timeout)
 		}
-		resp, fail := s.runOrder(ctx, j.tenant, j.payload)
+		resp, fail := s.runJob(ctx, j)
 		cancel()
 
 		j.mu.Lock()

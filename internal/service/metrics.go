@@ -43,6 +43,10 @@ type metrics struct {
 	// traffic above.
 	store        *envred.CountedStore
 	storeSeconds *histogram
+	// resilient is the store's fault-tolerance handle (nil when the store
+	// is not wrapped in a ResilientStore); breaker state and retry counters
+	// are likewise read from it at render time.
+	resilient *envred.ResilientStore
 	// live state.
 	inFlight   gauge
 	jobsQueued gauge
@@ -87,6 +91,29 @@ func (m *metrics) writeTo(w io.Writer) {
 		fmt.Fprintf(w, "envorderd_store_puts_total %d\n", st.Puts)
 		writeHeader(w, "envorderd_store_seconds", "histogram", "Persistent-store operation latency (get/put/delete).")
 		m.storeSeconds.writeTo(w, "envorderd_store_seconds")
+	}
+	if m.resilient != nil {
+		rs := m.resilient.Stats()
+		writeHeader(w, "envorderd_store_breaker_state", "gauge", "Circuit breaker position: 0=closed, 1=open, 2=half-open.")
+		fmt.Fprintf(w, "envorderd_store_breaker_state %d\n", int(rs.State))
+		degraded := 0
+		if rs.Degraded {
+			degraded = 1
+		}
+		writeHeader(w, "envorderd_store_degraded", "gauge", "1 while the breaker is not closed (store traffic degraded to cache-only).")
+		fmt.Fprintf(w, "envorderd_store_degraded %d\n", degraded)
+		writeHeader(w, "envorderd_store_retries_total", "counter", "Extra store attempts spent on transient backend errors.")
+		fmt.Fprintf(w, "envorderd_store_retries_total %d\n", rs.Retries)
+		writeHeader(w, "envorderd_store_timeouts_total", "counter", "Store attempts abandoned at the per-operation timeout.")
+		fmt.Fprintf(w, "envorderd_store_timeouts_total %d\n", rs.Timeouts)
+		writeHeader(w, "envorderd_store_fastfails_total", "counter", "Store operations refused without touching the backend while the breaker was open.")
+		fmt.Fprintf(w, "envorderd_store_fastfails_total %d\n", rs.FastFails)
+		writeHeader(w, "envorderd_store_put_drops_total", "counter", "Artifact writebacks dropped after exhausting retries (the in-memory cache still holds them).")
+		fmt.Fprintf(w, "envorderd_store_put_drops_total %d\n", rs.PutDrops)
+		writeHeader(w, "envorderd_store_breaker_trips_total", "counter", "Closed-to-open breaker transitions after consecutive backend failures.")
+		fmt.Fprintf(w, "envorderd_store_breaker_trips_total %d\n", rs.Trips)
+		writeHeader(w, "envorderd_store_breaker_recoveries_total", "counter", "Breaker recoveries to closed after a healthy probe.")
+		fmt.Fprintf(w, "envorderd_store_breaker_recoveries_total %d\n", rs.Recoveries)
 	}
 	writeHeader(w, "envorderd_in_flight", "gauge", "Orderings currently executing or queued on the solve pool.")
 	fmt.Fprintf(w, "envorderd_in_flight %d\n", m.inFlight.value())

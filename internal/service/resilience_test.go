@@ -1,0 +1,215 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	envred "repro"
+	"repro/internal/service"
+)
+
+// panickyInit registers the PANICKY test orderer once per process: it
+// panics unconditionally, driving the panic-isolation gates — the daemon
+// must convert the panic into a per-request (or per-job) error and keep
+// serving.
+var panickyInit sync.Once
+
+func registerPanicky(t *testing.T) {
+	t.Helper()
+	panickyInit.Do(func() {
+		envred.MustRegister("panicky", envred.OrdererFunc(func(ctx context.Context, g *envred.Graph, req *envred.OrderRequest) (envred.Result, error) {
+			panic("panicky orderer: kaboom")
+		}))
+	})
+}
+
+// TestPanickingOrdererIsolated is the crash-safety gate: a registered
+// orderer that panics fails its own request with a 500 carrying the panic
+// text, and the daemon goes on serving — the panic never reaches the HTTP
+// server or the job drainer goroutines.
+func TestPanickingOrdererIsolated(t *testing.T) {
+	registerPanicky(t)
+	_, ts := newTestServer(t, service.Config{Workers: 2})
+	g := envred.Grid(10, 8)
+
+	// Sync path: per-request 500, not a dropped connection.
+	resp, body := postMM(t, ts.URL+"/v1/order?algorithm=panicky", mmBody(t, g), nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking orderer: status %d, want 500 (body %s)", resp.StatusCode, body)
+	}
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("panicking orderer reply is not the JSON error document: %s", body)
+	}
+	if !strings.Contains(doc.Error, "panic") || !strings.Contains(doc.Error, "kaboom") {
+		t.Fatalf("error %q does not identify the panic", doc.Error)
+	}
+
+	// Async path: the job fails, the drainer survives.
+	resp, body = postMM(t, ts.URL+"/v1/jobs?algorithm=panicky", mmBody(t, g), nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit reply %s", body)
+	}
+	waitJobState(t, ts.URL, sub.ID, "failed")
+
+	// The daemon is still fully alive: normal orders succeed on the same
+	// workers that just absorbed two panics.
+	resp, body = postMM(t, ts.URL+"/v1/order?algorithm=rcm", mmBody(t, g), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("order after panics: status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = getWith(t, ts.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panics: status %d", resp.StatusCode)
+	}
+}
+
+// waitJobState polls the job until it reaches the wanted terminal state.
+func waitJobState(t *testing.T, base, id, want string) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		_, body := getWith(t, base+"/v1/jobs/"+id, "")
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("job poll reply %s", body)
+		}
+		switch st.Status {
+		case want:
+			if want == "failed" && !strings.Contains(st.Error, "panic") {
+				t.Fatalf("failed job error %q does not identify the panic", st.Error)
+			}
+			return
+		case "done", "failed":
+			t.Fatalf("job reached %q, want %q", st.Status, want)
+		}
+	}
+	t.Fatalf("job did not reach %q", want)
+}
+
+// readyzDoc mirrors the /readyz reply.
+type readyzDoc struct {
+	Status string `json:"status"`
+	Store  *struct {
+		Breaker    string `json:"breaker"`
+		Retries    int64  `json:"retries"`
+		Trips      int64  `json:"trips"`
+		Recoveries int64  `json:"recoveries"`
+		LastError  string `json:"last_error"`
+	} `json:"store"`
+}
+
+// TestReadyzReportsBreaker drives the daemon over a store whose backend
+// fails every operation: the breaker trips, /readyz reports "degraded"
+// with the open breaker, and /healthz never flaps — liveness stays 200 ok
+// because a daemon without its persistent tier still serves correctly
+// from memory.
+func TestReadyzReportsBreaker(t *testing.T) {
+	inner, err := envred.OpenStore("chaos://mem://?err_rate=1&seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := envred.NewResilientStore(inner, envred.ResilienceOptions{
+		Retries:          -1,
+		BreakerThreshold: 2,
+		OpTimeout:        -1,
+	})
+	defer st.Close()
+	_, ts := newTestServer(t, service.Config{Store: st})
+	g := envred.Grid(12, 10)
+
+	// Orders succeed despite the dead store (its failures degrade to cache
+	// misses and dropped writebacks) and their store traffic trips the
+	// breaker.
+	for i := 0; i < 3; i++ {
+		resp, body := postMM(t, ts.URL+"/v1/order?algorithm=spectral", mmBody(t, g), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("order %d over dead store: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if st.State() != envred.BreakerOpen {
+		t.Fatalf("breaker state %v after dead-store traffic, want open", st.State())
+	}
+
+	resp, body := getWith(t, ts.URL+"/readyz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d, want 200 (degraded is a body condition, not a probe failure)", resp.StatusCode)
+	}
+	var rd readyzDoc
+	if err := json.Unmarshal(body, &rd); err != nil {
+		t.Fatalf("readyz reply %s", body)
+	}
+	if rd.Status != "degraded" || rd.Store == nil || rd.Store.Breaker != "open" {
+		t.Fatalf("readyz = %s, want degraded with open breaker", body)
+	}
+	if rd.Store.Trips == 0 || rd.Store.LastError == "" {
+		t.Fatalf("readyz store detail incomplete: %s", body)
+	}
+
+	// Liveness: still a plain 200 ok.
+	resp, body = getWith(t, ts.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d with degraded store, want 200", resp.StatusCode)
+	}
+	var hz struct {
+		Status string `json:"status"`
+		Store  string `json:"store"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil || hz.Status != "ok" {
+		t.Fatalf("healthz reply %s", body)
+	}
+	if hz.Store != "open" {
+		t.Fatalf("healthz store = %q, want open", hz.Store)
+	}
+
+	// The exposition carries the breaker family.
+	_, body = getWith(t, ts.URL+"/metrics", "")
+	metricsText := string(body)
+	for _, want := range []string{
+		"envorderd_store_breaker_state 1",
+		"envorderd_store_degraded 1",
+		"envorderd_store_breaker_trips_total 1",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metricsText)
+		}
+	}
+}
+
+// TestReadyzHealthyStore pins the happy-path readiness document: closed
+// breaker, status ok.
+func TestReadyzHealthyStore(t *testing.T) {
+	inner, err := envred.OpenStore("mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := envred.NewResilientStore(inner, envred.ResilienceOptions{})
+	defer st.Close()
+	_, ts := newTestServer(t, service.Config{Store: st})
+
+	resp, body := getWith(t, ts.URL+"/readyz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d", resp.StatusCode)
+	}
+	var rd readyzDoc
+	if err := json.Unmarshal(body, &rd); err != nil {
+		t.Fatalf("readyz reply %s", body)
+	}
+	if rd.Status != "ok" || rd.Store == nil || rd.Store.Breaker != "closed" {
+		t.Fatalf("readyz = %s, want ok with closed breaker", body)
+	}
+}

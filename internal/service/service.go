@@ -10,7 +10,8 @@
 //	GET  /v1/jobs/{id}/result   fetch the finished job's ordering
 //	GET  /v1/algorithms         registered algorithm names
 //	GET|POST /v1/fiedler        Fiedler vector + λ2 of a connected graph
-//	GET  /healthz               liveness
+//	GET  /healthz               liveness (always 200 while the process serves)
+//	GET  /readyz                readiness: store breaker state and counters
 //	GET  /metrics               Prometheus text exposition
 //
 // Graphs arrive either as a Matrix Market body (any non-JSON content
@@ -144,9 +145,13 @@ type Server struct {
 	// store is the counted persistent-store handle tenant Sessions solve
 	// through (nil without Config.Store); rawStore is the uncounted
 	// underlying handle used for advisory cached-flag probes, which must
-	// not perturb the hit/miss counters.
-	store    *envred.CountedStore
-	rawStore envred.Store
+	// not perturb the hit/miss counters. resilient is the fault-tolerance
+	// handle found in the store's wrapper chain (nil when the store is not
+	// wrapped in a ResilientStore): /readyz and the breaker metrics read
+	// its state at render time.
+	store     *envred.CountedStore
+	rawStore  envred.Store
+	resilient *envred.ResilientStore
 
 	tenantMu sync.Mutex
 	byName   map[string]*tenant
@@ -185,6 +190,8 @@ func New(cfg Config) *Server {
 			s.m.storeSeconds.observe(seconds)
 		})
 		s.m.store = s.store
+		s.resilient = resilienceOf(cfg.Store)
+		s.m.resilient = s.resilient
 	}
 	if len(cfg.APIKeys) == 0 {
 		s.open = s.newTenant("default")
@@ -237,7 +244,25 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/fiedler", s.auth(s.handleFiedler))
 	s.mux.HandleFunc("POST /v1/fiedler", s.auth(s.handleFiedler))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// resilienceOf walks the store's Unwrap chain for the ResilientStore
+// handle, so the daemon finds it whether the store arrived as the wrapper
+// itself or further wrapped.
+func resilienceOf(st envred.Store) *envred.ResilientStore {
+	for st != nil {
+		if r, ok := st.(*envred.ResilientStore); ok {
+			return r
+		}
+		u, ok := st.(interface{ Unwrap() envred.Store })
+		if !ok {
+			return nil
+		}
+		st = u.Unwrap()
+	}
+	return nil
 }
 
 // Handler returns the service's HTTP handler.

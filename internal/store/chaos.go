@@ -1,0 +1,217 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The chaos driver wraps any inner store URL with deterministic seeded
+// fault injection — the test double for every network backend failure mode
+// the Resilient layer must survive:
+//
+//	chaos://fs:///var/cache/envorder?err_rate=0.2&hang_rate=0.05&corrupt_rate=0.1&latency=50ms&seed=7
+//	chaos://mem://?err_rate=0.5&seed=1&max_entries=64
+//
+// The inner URL is everything after "chaos://"; query parameters the chaos
+// layer does not own are forwarded to the inner driver untouched.
+// Recognized parameters (all optional):
+//
+//	err_rate      probability in [0,1] an op fails with ErrTransient
+//	hang_rate     probability in [0,1] an op stalls for `hang` first
+//	corrupt_rate  probability in [0,1] a Get delivers a corrupt payload
+//	latency       fixed extra delay added to every op (duration)
+//	hang          stall duration for hung ops (duration, default 30s)
+//	seed          fault-schedule seed (uint64, default 1)
+//
+// Determinism: each operation takes the next value of an atomic op counter
+// and derives its fault rolls by hashing (seed, op, roll-kind) through
+// splitmix64 — so for a fixed seed the fault sequence is a pure function
+// of operation order, independent of timing or goroutine interleaving.
+// Two runs issuing the same ops in the same order inject the same faults;
+// tests pin schedules this way.
+func init() {
+	Register("chaos", openChaos)
+}
+
+// chaosParams are the query keys the chaos layer consumes; everything else
+// is forwarded to the inner driver (which rejects what it doesn't know).
+var chaosParams = map[string]bool{
+	"err_rate": true, "hang_rate": true, "corrupt_rate": true,
+	"latency": true, "hang": true, "seed": true,
+}
+
+type chaosConfig struct {
+	errRate     float64
+	hangRate    float64
+	corruptRate float64
+	latency     time.Duration
+	hangFor     time.Duration
+	seed        uint64
+}
+
+func openChaos(u *url.URL) (Store, error) {
+	// url.Parse("chaos://fs:///p") yields Host "fs:" (empty port) and Path
+	// "///p": the inner scheme is the host minus the colon, the inner
+	// opaque part is the path minus the "//" the outer URL contributed.
+	scheme := strings.ToLower(strings.TrimSuffix(u.Host, ":"))
+	if scheme == "" || scheme == "chaos" {
+		return nil, fmt.Errorf("store: chaos: URL %q needs an inner store, e.g. chaos://fs:///path", u)
+	}
+	cfg := chaosConfig{hangFor: 30 * time.Second, seed: 1}
+	rest := url.Values{}
+	for key, vals := range u.Query() {
+		if !chaosParams[key] {
+			rest[key] = vals
+			continue
+		}
+		v := vals[len(vals)-1]
+		var err error
+		switch key {
+		case "err_rate":
+			cfg.errRate, err = parseRate(v)
+		case "hang_rate":
+			cfg.hangRate, err = parseRate(v)
+		case "corrupt_rate":
+			cfg.corruptRate, err = parseRate(v)
+		case "latency":
+			cfg.latency, err = time.ParseDuration(v)
+		case "hang":
+			cfg.hangFor, err = time.ParseDuration(v)
+		case "seed":
+			cfg.seed, err = strconv.ParseUint(v, 10, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: chaos: bad %s %q: %w", key, v, err)
+		}
+	}
+	inner := scheme + "://" + strings.TrimPrefix(u.Path, "//")
+	if len(rest) > 0 {
+		inner += "?" + rest.Encode()
+	}
+	st, err := Open(inner)
+	if err != nil {
+		return nil, fmt.Errorf("store: chaos: inner store %q: %w", inner, err)
+	}
+	return newChaos(st, cfg), nil
+}
+
+func parseRate(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 || f > 1 {
+		return 0, errors.New("want a probability in [0,1]")
+	}
+	return f, nil
+}
+
+// chaosStore injects faults in front of an inner store. Safe for
+// concurrent use; Close unblocks any op currently hung.
+type chaosStore struct {
+	inner Store
+	cfg   chaosConfig
+	op    atomic.Uint64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func newChaos(inner Store, cfg chaosConfig) *chaosStore {
+	return &chaosStore{inner: inner, cfg: cfg, closed: make(chan struct{})}
+}
+
+// Unwrap returns the inner store (for Sizer-style type assertions).
+func (c *chaosStore) Unwrap() Store { return c.inner }
+
+// splitmix64 is the mixing function behind the deterministic schedule —
+// tiny, stateless, and well distributed even on sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll returns the deterministic uniform [0,1) draw for (op, kind): kind
+// separates the hang/error/corrupt decisions of one op so their rates stay
+// independent.
+func (c *chaosStore) roll(op, kind uint64) float64 {
+	v := splitmix64(splitmix64(c.cfg.seed^kind*0x9e3779b97f4a7c15) ^ op)
+	return float64(v>>11) / (1 << 53)
+}
+
+// pause blocks for d or until the store is closed, whichever comes first —
+// hangs are bounded so abandoned-goroutine leaks under the Resilient
+// timeout stay bounded too.
+func (c *chaosStore) pause(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.closed:
+	case <-t.C:
+	}
+}
+
+// before runs the per-op fault schedule: latency, then a possible hang,
+// then a possible transient error. It returns whether this op should also
+// corrupt its payload (Get only acts on it).
+func (c *chaosStore) before() (corrupt bool, err error) {
+	op := c.op.Add(1) - 1
+	c.pause(c.cfg.latency)
+	if c.cfg.hangRate > 0 && c.roll(op, 1) < c.cfg.hangRate {
+		c.pause(c.cfg.hangFor)
+	}
+	if c.cfg.errRate > 0 && c.roll(op, 2) < c.cfg.errRate {
+		return false, fmt.Errorf("store: chaos: injected fault (op %d): %w", op, ErrTransient)
+	}
+	return c.cfg.corruptRate > 0 && c.roll(op, 3) < c.cfg.corruptRate, nil
+}
+
+func (c *chaosStore) Get(key Key) (*Artifact, error) {
+	damage, err := c.before()
+	if err != nil {
+		return nil, err
+	}
+	a, err := c.inner.Get(key)
+	if err != nil || !damage {
+		return a, err
+	}
+	// Deliver what a rotten disk would: the real payload pushed through the
+	// codec with its tail torn off, so the caller sees the same typed
+	// ErrCorrupt every other corruption source funnels to.
+	data := EncodeArtifact(key, a)
+	if _, _, derr := DecodeArtifact(data[:len(data)-1]); derr != nil {
+		return nil, fmt.Errorf("store: chaos: injected corruption on %s: %w", key, derr)
+	}
+	return nil, corrupt("chaos: injected corruption on %s", key)
+}
+
+func (c *chaosStore) Put(key Key, a *Artifact) error {
+	if _, err := c.before(); err != nil {
+		return err
+	}
+	return c.inner.Put(key, a)
+}
+
+func (c *chaosStore) Delete(key Key) error {
+	if _, err := c.before(); err != nil {
+		return err
+	}
+	return c.inner.Delete(key)
+}
+
+// Len and Close pass through unfaulted: they are control-plane calls the
+// stats paths rely on, not the data plane under test.
+func (c *chaosStore) Len() (int, error) { return c.inner.Len() }
+
+func (c *chaosStore) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}

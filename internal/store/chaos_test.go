@@ -1,0 +1,177 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+func TestChaosURLParsing(t *testing.T) {
+	// Inner fs store through the chaos wrapper, chaos params consumed,
+	// inner params forwarded.
+	dir := t.TempDir()
+	st, err := Open("chaos://fs://" + filepath.Join(dir, "c") + "?err_rate=0&latency=0s&seed=3&max_bytes=1000000")
+	if err != nil {
+		t.Fatalf("Open chaos over fs: %v", err)
+	}
+	key, art := testKey(1), testArtifact()
+	if err := st.Put(key, art); err != nil {
+		t.Fatalf("Put through quiet chaos: %v", err)
+	}
+	if _, err := st.Get(key); err != nil {
+		t.Fatalf("Get through quiet chaos: %v", err)
+	}
+	st.Close()
+
+	bad := []string{
+		"chaos://",                      // no inner store
+		"chaos://mem://?err_rate=1.5",   // rate out of range
+		"chaos://mem://?err_rate=x",     // rate unparsable
+		"chaos://mem://?latency=5",      // bare number is not a duration
+		"chaos://mem://?seed=-1",        // seed must be unsigned
+		"chaos://mem://?bogus_param=1",  // unknown params reach mem and are rejected there
+		"chaos://nosuch://?err_rate=.1", // unknown inner scheme
+	}
+	for _, u := range bad {
+		if _, err := Open(u); err == nil {
+			t.Errorf("Open(%q) succeeded, want error", u)
+		}
+	}
+}
+
+// faultPattern records which of n sequential Gets on an absent key drew an
+// injected fault (vs a clean ErrNotFound from the inner store).
+func faultPattern(t *testing.T, rawurl string, n int) []bool {
+	t.Helper()
+	st, err := Open(rawurl)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", rawurl, err)
+	}
+	defer st.Close()
+	key := testKey(9)
+	out := make([]bool, n)
+	for i := range out {
+		_, err := st.Get(key)
+		switch {
+		case errors.Is(err, ErrTransient):
+			out[i] = true
+		case errors.Is(err, ErrNotFound):
+		default:
+			t.Fatalf("op %d: unexpected error %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	const u = "chaos://mem://?err_rate=0.5&seed=7"
+	a := faultPattern(t, u, 64)
+	b := faultPattern(t, u, 64)
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: fault schedule differs across identically-seeded stores", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	// At rate 0.5 over 64 ops, both extremes would mean a broken schedule.
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("err_rate=0.5 injected %d/%d faults", faults, len(a))
+	}
+	c := faultPattern(t, "chaos://mem://?err_rate=0.5&seed=8", 64)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestChaosTransientFaults(t *testing.T) {
+	st, err := Open("chaos://mem://?err_rate=1&seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	key, art := testKey(2), testArtifact()
+	for name, op := range map[string]func() error{
+		"put":    func() error { return st.Put(key, art) },
+		"get":    func() error { _, err := st.Get(key); return err },
+		"delete": func() error { return st.Delete(key) },
+	} {
+		err := op()
+		if !errors.Is(err, ErrTransient) {
+			t.Errorf("%s at err_rate=1: %v, want ErrTransient", name, err)
+		}
+		if !retry.Transient(err) {
+			t.Errorf("%s fault not classified retryable by the shared helper", name)
+		}
+	}
+	// Control-plane calls stay clean.
+	if _, err := st.Len(); err != nil {
+		t.Errorf("Len through chaos: %v", err)
+	}
+}
+
+func TestChaosCorruption(t *testing.T) {
+	st, err := Open("chaos://mem://?corrupt_rate=1&seed=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	key, art := testKey(5), testArtifact()
+	if err := st.Put(key, art); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	_, err = st.Get(key)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get at corrupt_rate=1: %v, want ErrCorrupt", err)
+	}
+	if retry.Transient(err) {
+		t.Fatal("corruption classified retryable; it is a definitive answer")
+	}
+	// Absent keys still miss cleanly — there is no payload to damage.
+	if _, err := st.Get(testKey(6)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get absent key: %v, want ErrNotFound", err)
+	}
+}
+
+func TestChaosLatency(t *testing.T) {
+	st, err := Open("chaos://mem://?latency=30ms&seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	start := time.Now()
+	st.Get(testKey(1))
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("Get with latency=30ms returned in %v", d)
+	}
+}
+
+func TestChaosCloseUnblocksHang(t *testing.T) {
+	st, err := Open("chaos://mem://?hang_rate=1&hang=1h&seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		st.Get(testKey(1))
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Get reach its hang
+	st.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock a hung op")
+	}
+}

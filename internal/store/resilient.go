@@ -1,0 +1,377 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// BreakerState is the circuit breaker's position: Closed (traffic flows),
+// Open (backend declared down, ops fast-fail with ErrUnavailable) or
+// HalfOpen (the probe window — exactly one trial op is admitted).
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// ResilienceOptions tunes the Resilient wrapper. The zero value means:
+// 2s op timeout, 2 retries with 20ms→250ms full-jitter backoff, breaker
+// tripping after 5 consecutive failures and probing every 5s.
+type ResilienceOptions struct {
+	// OpTimeout bounds each attempt of one backend operation; an attempt
+	// that overruns is abandoned (its goroutine parks until the backend
+	// returns) and counted as a transient failure. < 0 disables.
+	OpTimeout time.Duration
+	// Retries is the number of extra attempts after a transient failure
+	// (total attempts = Retries+1). < 0 disables retrying.
+	Retries int
+	// RetryBase/RetryCap parameterize the full-jitter backoff between
+	// attempts (see retry.Policy).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BreakerThreshold trips the breaker to Open after this many
+	// consecutive failed operations (retries exhausted). < 0 disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerProbe is how long the breaker stays Open before admitting a
+	// single half-open probe.
+	BreakerProbe time.Duration
+	// Logf, when non-nil, receives one line per state change and dropped
+	// Put — the "logged metric" degraded mode speaks through.
+	Logf func(format string, args ...any)
+}
+
+func (o ResilienceOptions) withDefaults() ResilienceOptions {
+	if o.OpTimeout == 0 {
+		o.OpTimeout = 2 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 20 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = 250 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerProbe <= 0 {
+		o.BreakerProbe = 5 * time.Second
+	}
+	return o
+}
+
+// ResilienceStats is a point-in-time snapshot of a Resilient store's
+// health machinery, rendered into /metrics, /readyz and the CLI's -stats.
+type ResilienceStats struct {
+	// State is the breaker position; Degraded is state != closed.
+	State    BreakerState
+	Degraded bool
+	// ConsecutiveFailures is the current failed-op streak feeding the
+	// breaker threshold.
+	ConsecutiveFailures int
+	// Retries counts extra attempts spent on transient failures; Timeouts
+	// counts attempts abandoned at OpTimeout; FastFails counts ops refused
+	// while the breaker was open; PutDrops counts writes that exhausted
+	// their retries and were dropped (the cache runs cold, nothing breaks).
+	Retries   int64
+	Timeouts  int64
+	FastFails int64
+	PutDrops  int64
+	// Trips counts closed→open transitions; Recoveries counts returns to
+	// closed from open/half-open.
+	Trips      int64
+	Recoveries int64
+	// LastError is the most recent backend failure ("" if none yet);
+	// LastFailure/LastSuccess are its and the last healthy op's times.
+	LastError   string
+	LastFailure time.Time
+	LastSuccess time.Time
+}
+
+// Resilient wraps a Store with the fault-tolerance layer every network
+// backend plugs into: per-attempt timeouts, capped full-jitter retries for
+// transient errors, and a consecutive-failure circuit breaker that trips
+// the tier-2 store out of the request path — callers run cache-only
+// (tier 1) behind fast ErrUnavailable failures instead of stalling solves
+// behind a dead backend — then half-opens on a probe interval and closes
+// again on the first healthy op.
+//
+// Classification: ErrNotFound and ErrCorrupt are healthy responses (the
+// backend answered) — they reset the failure streak and are returned
+// unretried. Only errors marked transient (ErrTransient, timeouts) are
+// retried; any other failure is final for the call but still counts
+// toward the breaker.
+type Resilient struct {
+	inner Store
+	opts  ResilienceOptions
+	pol   retry.Policy
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool
+	lastErr     string
+	lastFailAt  time.Time
+	lastOKAt    time.Time
+
+	retries    atomic.Int64
+	timeouts   atomic.Int64
+	fastFails  atomic.Int64
+	putDrops   atomic.Int64
+	trips      atomic.Int64
+	recoveries atomic.Int64
+
+	// Injectable time for deterministic breaker tests; real clock otherwise.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+	after func(d time.Duration) <-chan time.Time
+}
+
+// NewResilient wraps inner. See ResilienceOptions for the zero-value
+// defaults.
+func NewResilient(inner Store, opts ResilienceOptions) *Resilient {
+	opts = opts.withDefaults()
+	return &Resilient{
+		inner: inner,
+		opts:  opts,
+		pol:   retry.Policy{Base: opts.RetryBase, Cap: opts.RetryCap},
+		now:   time.Now,
+		sleep: retry.Sleep,
+		after: time.After,
+	}
+}
+
+// Unwrap returns the wrapped store (for Sizer-style type assertions).
+func (r *Resilient) Unwrap() Store { return r.inner }
+
+// State returns the breaker's current position.
+func (r *Resilient) State() BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Healthy reports whether the backend is fully in the request path
+// (breaker closed).
+func (r *Resilient) Healthy() bool { return r.State() == BreakerClosed }
+
+// Stats snapshots the resilience counters and breaker state.
+func (r *Resilient) Stats() ResilienceStats {
+	r.mu.Lock()
+	s := ResilienceStats{
+		State:               r.state,
+		Degraded:            r.state != BreakerClosed,
+		ConsecutiveFailures: r.consecFails,
+		LastError:           r.lastErr,
+		LastFailure:         r.lastFailAt,
+		LastSuccess:         r.lastOKAt,
+	}
+	r.mu.Unlock()
+	s.Retries = r.retries.Load()
+	s.Timeouts = r.timeouts.Load()
+	s.FastFails = r.fastFails.Load()
+	s.PutDrops = r.putDrops.Load()
+	s.Trips = r.trips.Load()
+	s.Recoveries = r.recoveries.Load()
+	return s
+}
+
+func (r *Resilient) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// admit decides whether an operation may reach the backend: always when
+// closed; when open, only once the probe interval has elapsed (the op
+// becomes the half-open probe); when half-open, only if no probe is
+// already in flight.
+func (r *Resilient) admit() bool {
+	if r.opts.BreakerThreshold < 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if r.now().Sub(r.openedAt) < r.opts.BreakerProbe {
+			return false
+		}
+		r.state = BreakerHalfOpen
+		r.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if r.probing {
+			return false
+		}
+		r.probing = true
+		return true
+	}
+}
+
+// onHealthy records a backend that answered (success, not-found, corrupt):
+// the streak resets and an open/half-open breaker closes.
+func (r *Resilient) onHealthy() {
+	r.mu.Lock()
+	recovered := r.state != BreakerClosed
+	r.state = BreakerClosed
+	r.consecFails = 0
+	r.probing = false
+	r.lastOKAt = r.now()
+	r.mu.Unlock()
+	if recovered {
+		r.recoveries.Add(1)
+		r.logf("store: breaker closed: backend recovered")
+	}
+}
+
+// onFailure records a failed operation (retries exhausted): the streak
+// grows, a half-open probe reopens the breaker, and a closed breaker at
+// threshold trips.
+func (r *Resilient) onFailure(err error) {
+	r.mu.Lock()
+	r.consecFails++
+	r.lastErr = err.Error()
+	r.lastFailAt = r.now()
+	tripped := false
+	switch r.state {
+	case BreakerHalfOpen:
+		r.state = BreakerOpen
+		r.openedAt = r.now()
+		r.probing = false
+	case BreakerClosed:
+		if r.opts.BreakerThreshold > 0 && r.consecFails >= r.opts.BreakerThreshold {
+			r.state = BreakerOpen
+			r.openedAt = r.now()
+			tripped = true
+		}
+	}
+	fails := r.consecFails
+	r.mu.Unlock()
+	if tripped {
+		r.trips.Add(1)
+		r.logf("store: breaker tripped open after %d consecutive failures (last: %v); running cache-only, probing every %v",
+			fails, err, r.opts.BreakerProbe)
+	}
+}
+
+// attempt runs one bounded try of f. On timeout the backend call is
+// abandoned, not cancelled — the Store interface has no context — so the
+// goroutine parks until the backend returns; hangs must therefore be
+// bounded by the backend (the chaos driver bounds its own).
+func (r *Resilient) attempt(opName string, f func() (any, error)) (any, error) {
+	if r.opts.OpTimeout <= 0 {
+		return f()
+	}
+	type res struct {
+		v   any
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		v, err := f()
+		ch <- res{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-r.after(r.opts.OpTimeout):
+		r.timeouts.Add(1)
+		return nil, fmt.Errorf("store: resilient: %s timed out after %v (backend abandoned): %w",
+			opName, r.opts.OpTimeout, ErrTransient)
+	}
+}
+
+// run is the common op path: breaker admission, then up to Retries+1
+// bounded attempts with full-jitter backoff between transient failures.
+func (r *Resilient) run(opName string, f func() (any, error)) (any, error) {
+	if !r.admit() {
+		r.fastFails.Add(1)
+		return nil, fmt.Errorf("store: resilient: %s: %w", opName, ErrUnavailable)
+	}
+	var v any
+	var err error
+	for attempt := 0; ; attempt++ {
+		v, err = r.attempt(opName, f)
+		if err == nil || !backendFailure(err) {
+			r.onHealthy()
+			return v, err
+		}
+		if attempt >= r.opts.Retries || !retry.Transient(err) {
+			break
+		}
+		r.retries.Add(1)
+		if serr := r.sleep(context.Background(), r.pol.Delay(attempt)); serr != nil {
+			break
+		}
+	}
+	r.onFailure(err)
+	return v, err
+}
+
+// backendFailure reports whether err indicts the backend. ErrNotFound and
+// ErrCorrupt are definitive answers from a live backend, not failures.
+func backendFailure(err error) bool {
+	return err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrCorrupt)
+}
+
+func (r *Resilient) Get(key Key) (*Artifact, error) {
+	v, err := r.run("get", func() (any, error) { return r.inner.Get(key) })
+	a, _ := v.(*Artifact)
+	return a, err
+}
+
+// Put writes through the same retry/breaker machinery; a write that still
+// fails is dropped — counted in PutDrops and logged, because tier-2
+// persistence is an accelerator, not a commitment — but the error is
+// returned so instrumentation layers above can count it too.
+func (r *Resilient) Put(key Key, a *Artifact) error {
+	_, err := r.run("put", func() (any, error) { return nil, r.inner.Put(key, a) })
+	if err != nil && backendFailure(err) {
+		r.putDrops.Add(1)
+		r.logf("store: dropped write %s (degraded): %v", key, err)
+	}
+	return err
+}
+
+func (r *Resilient) Delete(key Key) error {
+	_, err := r.run("delete", func() (any, error) { return nil, r.inner.Delete(key) })
+	return err
+}
+
+func (r *Resilient) Len() (int, error) {
+	v, err := r.run("len", func() (any, error) { return r.inner.Len() })
+	n, _ := v.(int)
+	return n, err
+}
+
+func (r *Resilient) Close() error { return r.inner.Close() }

@@ -1,0 +1,411 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// fakeClock drives the breaker's probe schedule deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// flipStore is an inner store whose failure mode is a switch: when failing,
+// every data op returns a transient error; otherwise it delegates to mem.
+// calls counts ops that actually reached the backend.
+type flipStore struct {
+	inner Store
+	fail  atomic.Bool
+	calls atomic.Int64
+}
+
+func newFlipStore() *flipStore { return &flipStore{inner: NewMem(0)} }
+
+func (f *flipStore) op() error {
+	f.calls.Add(1)
+	if f.fail.Load() {
+		return fmt.Errorf("flip: backend down: %w", ErrTransient)
+	}
+	return nil
+}
+
+func (f *flipStore) Get(key Key) (*Artifact, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	return f.inner.Get(key)
+}
+
+func (f *flipStore) Put(key Key, a *Artifact) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Put(key, a)
+}
+
+func (f *flipStore) Delete(key Key) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Delete(key)
+}
+
+func (f *flipStore) Len() (int, error) { return f.inner.Len() }
+func (f *flipStore) Close() error      { return f.inner.Close() }
+
+// newTestResilient wires a Resilient to a fake clock and instant sleeps.
+func newTestResilient(inner Store, opts ResilienceOptions, clk *fakeClock) *Resilient {
+	r := NewResilient(inner, opts)
+	r.now = clk.now
+	r.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	return r
+}
+
+func TestResilientRetriesTransient(t *testing.T) {
+	flip := newFlipStore()
+	clk := newFakeClock()
+	r := newTestResilient(flip, ResilienceOptions{OpTimeout: -1, Retries: 3, BreakerThreshold: -1}, clk)
+	key, art := testKey(1), testArtifact()
+	if err := flip.inner.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+
+	// All attempts fail: the final error surfaces, retries were spent.
+	flip.fail.Store(true)
+	if _, err := r.Get(key); !errors.Is(err, ErrTransient) {
+		t.Fatalf("Get with backend down: %v, want ErrTransient", err)
+	}
+	if got := r.Stats().Retries; got != 3 {
+		t.Fatalf("Retries = %d, want 3", got)
+	}
+	if got := flip.calls.Load(); got != 4 {
+		t.Fatalf("backend saw %d attempts, want 4 (1 + 3 retries)", got)
+	}
+
+	// Healthy backend: one attempt, no extra retries.
+	flip.fail.Store(false)
+	flip.calls.Store(0)
+	if _, err := r.Get(key); err != nil {
+		t.Fatalf("Get with backend up: %v", err)
+	}
+	if got := flip.calls.Load(); got != 1 {
+		t.Fatalf("healthy Get cost %d attempts, want 1", got)
+	}
+}
+
+func TestResilientFinalErrorsNotRetried(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestResilient(NewMem(0), ResilienceOptions{OpTimeout: -1, Retries: 5, BreakerThreshold: 3}, clk)
+	// ErrNotFound is a healthy answer: no retries, no breaker movement.
+	for i := 0; i < 10; i++ {
+		if _, err := r.Get(testKey(7)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get absent: %v, want ErrNotFound", err)
+		}
+	}
+	st := r.Stats()
+	if st.Retries != 0 || st.State != BreakerClosed || st.ConsecutiveFailures != 0 {
+		t.Fatalf("misses moved the resilience machinery: %+v", st)
+	}
+}
+
+func TestResilientBreakerLifecycle(t *testing.T) {
+	flip := newFlipStore()
+	clk := newFakeClock()
+	opts := ResilienceOptions{OpTimeout: -1, Retries: -1, BreakerThreshold: 3, BreakerProbe: 10 * time.Second}
+	r := newTestResilient(flip, opts, clk)
+	key := testKey(1)
+
+	// Trip: three consecutive failures open the breaker.
+	flip.fail.Store(true)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Get(key); !errors.Is(err, ErrTransient) {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+	}
+	if got := r.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if got := r.Stats().Trips; got != 1 {
+		t.Fatalf("Trips = %d, want 1", got)
+	}
+
+	// Open: ops fast-fail with ErrUnavailable without touching the backend.
+	flip.calls.Store(0)
+	_, err := r.Get(key)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Get while open: %v, want ErrUnavailable", err)
+	}
+	if retry.Transient(err) {
+		t.Fatal("ErrUnavailable classified retryable; the breaker owns the retry schedule")
+	}
+	if flip.calls.Load() != 0 {
+		t.Fatal("open breaker let an op through to the backend")
+	}
+	if r.Stats().FastFails == 0 {
+		t.Fatal("fast-fail not counted")
+	}
+
+	// Failed probe: past the interval one op is admitted, fails, reopens.
+	clk.advance(11 * time.Second)
+	if _, err := r.Get(key); !errors.Is(err, ErrTransient) {
+		t.Fatalf("probe: %v, want the backend's transient error", err)
+	}
+	if flip.calls.Load() != 1 {
+		t.Fatalf("probe reached backend %d times, want 1", flip.calls.Load())
+	}
+	if got := r.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+
+	// Recovery: backend healed, probe succeeds, breaker closes.
+	flip.fail.Store(false)
+	clk.advance(11 * time.Second)
+	if _, err := r.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("healed probe: %v, want the backend's ErrNotFound", err)
+	}
+	st := r.Stats()
+	if st.State != BreakerClosed || st.Recoveries != 1 || st.Degraded {
+		t.Fatalf("after recovery: %+v", st)
+	}
+}
+
+func TestResilientHalfOpenSingleFlight(t *testing.T) {
+	release := make(chan struct{})
+	inner := &blockingStore{release: release}
+	clk := newFakeClock()
+	opts := ResilienceOptions{OpTimeout: -1, Retries: -1, BreakerThreshold: 1, BreakerProbe: time.Second}
+	r := newTestResilient(inner, opts, clk)
+
+	inner.failNext.Store(true)
+	r.Get(testKey(1)) // trip (threshold 1)
+	if r.State() != BreakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+	inner.failNext.Store(false)
+	clk.advance(2 * time.Second)
+
+	// First op becomes the half-open probe and parks on the backend...
+	probeDone := make(chan error, 1)
+	go func() {
+		_, err := r.Get(testKey(1))
+		probeDone <- err
+	}()
+	inner.entered.await(t)
+	// ...every op meanwhile is refused without queueing behind it.
+	if _, err := r.Get(testKey(1)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("second op during probe: %v, want ErrUnavailable", err)
+	}
+	close(release)
+	if err := <-probeDone; !errors.Is(err, ErrNotFound) {
+		t.Fatalf("probe result: %v, want ErrNotFound", err)
+	}
+	if r.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// blockingStore fails one op on demand, then parks Gets until released —
+// scaffolding for the single-flight and timeout tests.
+type blockingStore struct {
+	failNext atomic.Bool
+	release  chan struct{}
+	entered  signalOnce
+}
+
+type signalOnce struct {
+	once sync.Once
+	ch   chan struct{}
+	mu   sync.Mutex
+}
+
+func (s *signalOnce) fire() {
+	s.mu.Lock()
+	if s.ch == nil {
+		s.ch = make(chan struct{})
+	}
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.ch) })
+}
+
+func (s *signalOnce) await(t *testing.T) {
+	t.Helper()
+	s.mu.Lock()
+	if s.ch == nil {
+		s.ch = make(chan struct{})
+	}
+	ch := s.ch
+	s.mu.Unlock()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked op never reached the backend")
+	}
+}
+
+func (b *blockingStore) Get(key Key) (*Artifact, error) {
+	if b.failNext.Load() {
+		return nil, fmt.Errorf("blocking: %w", ErrTransient)
+	}
+	b.entered.fire()
+	<-b.release
+	return nil, ErrNotFound
+}
+
+func (b *blockingStore) Put(key Key, a *Artifact) error { return nil }
+func (b *blockingStore) Delete(key Key) error           { return nil }
+func (b *blockingStore) Len() (int, error)              { return 0, nil }
+func (b *blockingStore) Close() error                   { return nil }
+
+func TestResilientOpTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	inner := &blockingStore{release: release}
+	r := NewResilient(inner, ResilienceOptions{OpTimeout: 20 * time.Millisecond, Retries: -1, BreakerThreshold: -1})
+	start := time.Now()
+	_, err := r.Get(testKey(1))
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("timed-out Get: %v, want ErrTransient", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timed-out Get took %v", d)
+	}
+	if got := r.Stats().Timeouts; got != 1 {
+		t.Fatalf("Timeouts = %d, want 1", got)
+	}
+}
+
+func TestResilientPutDropCounted(t *testing.T) {
+	flip := newFlipStore()
+	flip.fail.Store(true)
+	clk := newFakeClock()
+	var logged atomic.Int64
+	opts := ResilienceOptions{
+		OpTimeout: -1, Retries: 1, BreakerThreshold: -1,
+		Logf: func(string, ...any) { logged.Add(1) },
+	}
+	r := newTestResilient(flip, opts, clk)
+	if err := r.Put(testKey(1), testArtifact()); !errors.Is(err, ErrTransient) {
+		t.Fatalf("Put with backend down: %v", err)
+	}
+	if got := r.Stats().PutDrops; got != 1 {
+		t.Fatalf("PutDrops = %d, want 1", got)
+	}
+	if logged.Load() == 0 {
+		t.Fatal("dropped Put not logged")
+	}
+}
+
+// TestResilientBreakerStormRace is the -race gate on the breaker state
+// machine: concurrent Get/Put storms across every transition — closed →
+// open under a failing backend, fast-fails while open, a failed half-open
+// probe, then recovery to closed — with the probe schedule driven by a
+// fake clock so the phases are deterministic.
+func TestResilientBreakerStormRace(t *testing.T) {
+	flip := newFlipStore()
+	clk := newFakeClock()
+	opts := ResilienceOptions{OpTimeout: -1, Retries: 1, BreakerThreshold: 4, BreakerProbe: time.Minute}
+	r := newTestResilient(flip, opts, clk)
+	key, art := testKey(3), testArtifact()
+	flip.inner.Put(key, art)
+
+	storm := func(n, workers int) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if (i+w)%3 == 0 {
+						r.Put(key, art)
+					} else {
+						r.Get(key)
+					}
+					r.Stats() // snapshots race against the ops
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: backend down — the storm must trip the breaker exactly once
+	// and leave it open.
+	flip.fail.Store(true)
+	storm(50, 8)
+	st := r.Stats()
+	if st.State != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("after failing storm: state=%v trips=%d, want open/1", st.State, st.Trips)
+	}
+	if st.FastFails == 0 {
+		t.Fatal("open breaker produced no fast-fails under storm")
+	}
+
+	// Phase 2: probe while still down — breaker reopens, no recovery.
+	clk.advance(2 * time.Minute)
+	storm(20, 8)
+	if st := r.Stats(); st.State != BreakerOpen || st.Recoveries != 0 {
+		t.Fatalf("after failed-probe storm: %+v", st)
+	}
+
+	// Phase 3: backend healed — the next probe closes the breaker and the
+	// storm runs clean.
+	flip.fail.Store(false)
+	clk.advance(2 * time.Minute)
+	storm(50, 8)
+	st = r.Stats()
+	if st.State != BreakerClosed || st.Recoveries != 1 {
+		t.Fatalf("after recovery storm: state=%v recoveries=%d, want closed/1", st.State, st.Recoveries)
+	}
+	if _, err := r.Get(key); err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+}
+
+// TestResilientOverChaosSchedule pins the integration the chaos CI tier
+// relies on: a Resilient over a seeded chaos store retries through the
+// injected transient faults, so callers see clean results despite a 30%
+// error rate.
+func TestResilientOverChaosSchedule(t *testing.T) {
+	inner, err := Open("chaos://mem://?err_rate=0.3&seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewResilient(inner, ResilienceOptions{
+		OpTimeout: -1, Retries: 4, RetryBase: time.Microsecond, RetryCap: 10 * time.Microsecond,
+		BreakerThreshold: -1,
+	})
+	defer r.Close()
+	key, art := testKey(8), testArtifact()
+	for i := 0; i < 32; i++ {
+		if err := r.Put(key, art); err != nil {
+			t.Fatalf("Put %d through resilient chaos: %v", i, err)
+		}
+		if _, err := r.Get(key); err != nil {
+			t.Fatalf("Get %d through resilient chaos: %v", i, err)
+		}
+	}
+	if r.Stats().Retries == 0 {
+		t.Fatal("a 30%% fault rate cost zero retries — chaos not injecting")
+	}
+}

@@ -45,6 +45,33 @@ var ErrNotFound = errors.New("store: entry not found")
 // the entry so the next write starts clean.
 var ErrCorrupt = errors.New("store: corrupt entry")
 
+// ErrTransient marks a backend failure that may succeed if simply retried
+// — a dropped connection, an injected chaos fault, a timed-out operation.
+// Drivers wrap it (fmt.Errorf("...: %w", ErrTransient)) so the Resilient
+// layer can classify without knowing backend specifics; ErrNotFound and
+// ErrCorrupt are never transient — the backend answered, the answer just
+// wasn't an entry.
+var ErrTransient error = transientError{}
+
+// transientError is the typed sentinel behind ErrTransient. It implements
+// the Retryable marker the shared classifier (internal/retry.Transient)
+// dispatches on, so one errors.As walk serves both the store retrier and
+// the HTTP client.
+type transientError struct{}
+
+func (transientError) Error() string { return "store: transient backend error" }
+
+// Retryable marks the error for internal/retry.Transient.
+func (transientError) Retryable() bool { return true }
+
+// ErrUnavailable is returned by the Resilient wrapper while its circuit
+// breaker is open: the backend has failed enough consecutive operations
+// that further attempts are refused up front, and the caller should run
+// cache-only (tier 1) until a probe succeeds. Deliberately NOT transient —
+// retrying through an open breaker is the breaker's own job, on its probe
+// schedule, not the caller's.
+var ErrUnavailable = errors.New("store: backend unavailable (circuit breaker open)")
+
 // Key addresses one artifact entry: the canonical content fingerprint of
 // the (component) graph plus a digest of the eigensolver options that
 // parameterize the solve. Both halves are content-derived, so the same

@@ -61,6 +61,13 @@ const DefaultCacheGraphs = pipeline.DefaultCacheGraphs
 // buffers checked out of one must not be retained.
 type Workspace = scratch.Workspace
 
+// PanicError is the error a panic in pluggable code is converted to: a
+// registered Orderer (or BatchRunner item, or daemon job) that panics
+// fails its own call/item/job with a *PanicError carrying the panic value
+// and stack — it never kills the worker pool, the batch barrier or a
+// daemon hosting the Session. See the Orderer contract.
+type PanicError = pipeline.PanicError
+
 // ErrCancelled is the typed error an interrupted run returns when its
 // context is cancelled or its deadline (e.g. AutoOptions.Budget) expires
 // mid-eigensolve: it wraps the context error (errors.Is sees

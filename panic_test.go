@@ -1,0 +1,113 @@
+package envred_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	envred "repro"
+)
+
+// testPanicRegistered registers the panicking orderer once per process
+// (the registry is append-only, so go test -count=N must not re-register).
+var testPanicRegistered = func() bool {
+	envred.MustRegister("TEST-PANIC", envred.OrdererFunc(
+		func(ctx context.Context, g *envred.Graph, req *envred.OrderRequest) (envred.Result, error) {
+			panic("orderer detonated")
+		}))
+	return true
+}()
+
+// The Orderer contract: a panic in pluggable code fails the call with a
+// *PanicError — it never crosses Session.Order, never kills a portfolio
+// worker, and never poisons the session for later calls.
+func TestPanickingOrdererFailsCallNotProcess(t *testing.T) {
+	_ = testPanicRegistered
+	sess := envred.NewSession(envred.SessionOptions{Seed: 1})
+	ctx := context.Background()
+	g := envred.Grid(8, 6)
+
+	_, err := sess.Order(ctx, g, "TEST-PANIC")
+	if err == nil {
+		t.Fatal("Session.Order returned nil error for a panicking orderer")
+	}
+	var perr *envred.PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T is not a *PanicError", err)
+	}
+	if !strings.Contains(err.Error(), "orderer detonated") || len(perr.Stack) == 0 {
+		t.Fatalf("PanicError incomplete: %v (stack %d bytes)", err, len(perr.Stack))
+	}
+
+	// The session still works.
+	res, err := sess.Order(ctx, g, envred.AlgRCM)
+	if err != nil || len(res.Perm) != g.N() {
+		t.Fatalf("session poisoned by the panic: %v", err)
+	}
+}
+
+// A panicking candidate inside an Auto portfolio fails only its own slot:
+// the run completes with the surviving candidates and the report records
+// the candidate's error.
+func TestPanickingCandidateFailsOnlyItsSlot(t *testing.T) {
+	_ = testPanicRegistered
+	sess := envred.NewSession(envred.SessionOptions{Seed: 1})
+	g := envred.Grid(8, 6)
+
+	res, err := sess.AutoWith(context.Background(), g, envred.AutoOptions{
+		Seed:      1,
+		Portfolio: []string{envred.AlgRCM, "TEST-PANIC"},
+	})
+	if err != nil {
+		t.Fatalf("panicking candidate must not fail the run: %v", err)
+	}
+	if err := res.Perm.Check(); err != nil || len(res.Perm) != g.N() {
+		t.Fatalf("Auto result invalid: %v", err)
+	}
+	found := false
+	for _, c := range res.Report.Components[0].Candidates {
+		if c.Algorithm == "TEST-PANIC" {
+			found = true
+			if !strings.Contains(c.Err, "panic") {
+				t.Fatalf("candidate error %q does not record the panic", c.Err)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("TEST-PANIC candidate missing from the report")
+	}
+}
+
+// OrderBatch delivers a panicking item as that item's BatchResult.Err;
+// the other items and subsequent batches are untouched.
+func TestOrderBatchPanickingItemIsolated(t *testing.T) {
+	_ = testPanicRegistered
+	sess := envred.NewSession(envred.SessionOptions{Seed: 1})
+	ctx := context.Background()
+	graphs := []*envred.Graph{envred.Path(12), envred.Grid(6, 5), envred.Path(20)}
+
+	results, err := sess.OrderBatch(ctx, graphs, envred.BatchOptions{Algorithm: "TEST-PANIC"})
+	if err != nil {
+		t.Fatalf("batch-level error: %v", err)
+	}
+	for i := range results {
+		var perr *envred.PanicError
+		if results[i].Err == nil || !errors.As(results[i].Err, &perr) {
+			t.Fatalf("item %d: err = %v, want a *PanicError", i, results[i].Err)
+		}
+	}
+
+	// Recycle the same slots through a clean batch: every slot recovers.
+	results, err = sess.OrderBatch(ctx, graphs, envred.BatchOptions{
+		Algorithm: envred.AlgRCM, Results: results,
+	})
+	if err != nil {
+		t.Fatalf("clean batch after panics: %v", err)
+	}
+	for i := range results {
+		if results[i].Err != nil || len(results[i].Result.Perm) != graphs[i].N() {
+			t.Fatalf("item %d after recycle: err=%v perm=%d", i, results[i].Err, len(results[i].Result.Perm))
+		}
+	}
+}

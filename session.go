@@ -184,7 +184,10 @@ func (s *Session) do(ctx context.Context, g *Graph, algorithm string, req OrderR
 		cached = req.Artifacts != nil
 	}
 	start := time.Now()
-	res, err := ord.Order(ctx, g, &req)
+	// SafeOrder: a panicking registered Orderer becomes this call's error
+	// (*pipeline.PanicError, stack attached) — a third-party algorithm can
+	// fail a request, never the process hosting the Session.
+	res, err := pipeline.SafeOrder(ctx, ord, name, g, &req)
 	res.Algorithm = name
 	res.Elapsed = time.Since(start)
 	if err != nil {

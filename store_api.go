@@ -42,12 +42,47 @@ type CountedStore = store.Counted
 // the identity persistent store entries are addressed by.
 type GraphFingerprint = graph.Fingerprint
 
+// ResilientStore wraps any Store with the fault-tolerance layer network
+// backends need: per-operation timeouts, capped full-jitter retries for
+// transient errors, and a consecutive-failure circuit breaker that trips
+// to cache-only operation, half-opens on a probe interval and exposes its
+// state (State/Stats/Healthy). Wrap the raw store before handing it to
+// SessionOptions.Store or the daemon so a dead backend costs one
+// fast-failing probe, never a stalled solve.
+type ResilientStore = store.Resilient
+
+// ResilienceOptions tunes a ResilientStore (zero value = sane defaults).
+type ResilienceOptions = store.ResilienceOptions
+
+// ResilienceStats snapshots a ResilientStore's breaker state and counters.
+type ResilienceStats = store.ResilienceStats
+
+// BreakerState is a ResilientStore's circuit position.
+type BreakerState = store.BreakerState
+
+// Circuit breaker positions.
+const (
+	BreakerClosed   = store.BreakerClosed
+	BreakerOpen     = store.BreakerOpen
+	BreakerHalfOpen = store.BreakerHalfOpen
+)
+
+// NewResilientStore wraps s with timeouts, retries and a circuit breaker.
+func NewResilientStore(s Store, opts ResilienceOptions) *ResilientStore {
+	return store.NewResilient(s, opts)
+}
+
 // Store error sentinels: ErrStoreNotFound is the clean miss; ErrStoreCorrupt
 // is wrapped by Get when an entry exists but cannot be decoded (callers
-// treat it as a miss plus a counted error).
+// treat it as a miss plus a counted error); ErrStoreTransient marks backend
+// failures that may succeed on retry (the ResilientStore retries exactly
+// these); ErrStoreUnavailable is the fast failure of an open circuit
+// breaker.
 var (
-	ErrStoreNotFound = store.ErrNotFound
-	ErrStoreCorrupt  = store.ErrCorrupt
+	ErrStoreNotFound    = store.ErrNotFound
+	ErrStoreCorrupt     = store.ErrCorrupt
+	ErrStoreTransient   = store.ErrTransient
+	ErrStoreUnavailable = store.ErrUnavailable
 )
 
 // OpenStore opens a persistent artifact store by URL, dispatching on the
@@ -55,6 +90,7 @@ var (
 //
 //	fs:///var/cache/envorder?max_bytes=1073741824   on-disk store
 //	mem://?max_entries=64                           in-process store
+//	chaos://fs:///path?err_rate=0.2&seed=7          fault-injection wrapper
 //	/var/cache/envorder                             bare path = fs
 func OpenStore(url string) (Store, error) { return store.Open(url) }
 
