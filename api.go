@@ -90,6 +90,7 @@ var (
 // identical output); context-first callers use Session.Order / Session.Do
 // with the SPECTRAL algorithm instead.
 func Spectral(g *Graph, opt SpectralOptions) (Perm, SpectralInfo, error) {
+	//envlint:ignore ctxflow legacy ctx-free shim; context-first callers use Session.Order
 	res, err := DefaultSession().do(context.Background(), g, AlgSpectral, OrderRequest{Seed: opt.Seed, Spectral: opt}, false)
 	return res.Perm, infoOf(res), err
 }
@@ -109,6 +110,7 @@ func infoOf(res Result) SpectralInfo {
 // hybrid the paper's §4 proposes as future work). Never worse in envelope
 // than Spectral.
 func SpectralSloan(g *Graph, opt SpectralOptions) (Perm, SpectralInfo, error) {
+	//envlint:ignore ctxflow legacy ctx-free shim; context-first callers use Session.Order
 	res, err := DefaultSession().do(context.Background(), g, AlgSpectralSloan, OrderRequest{Seed: opt.Seed, Spectral: opt}, false)
 	return res.Perm, infoOf(res), err
 }
@@ -118,6 +120,7 @@ func SpectralSloan(g *Graph, opt SpectralOptions) (Perm, SpectralInfo, error) {
 // strongly coupled rows are placed adjacently. The weight function must be
 // symmetric and positive on edges.
 func WeightedSpectral(g *Graph, weight func(u, v int) float64, opt SpectralOptions) (Perm, SpectralInfo, error) {
+	//envlint:ignore ctxflow legacy ctx-free shim; context-first callers use Session.Order
 	res, err := DefaultSession().do(context.Background(), g, AlgWeighted,
 		OrderRequest{Seed: opt.Seed, Spectral: opt, Weight: weight}, false)
 	return res.Perm, infoOf(res), err
@@ -202,6 +205,7 @@ func RandomPerm(n int, seed int64) Perm { return perm.Random(n, seed) }
 // from the session's artifact cache. Context-first callers use
 // Session.Fiedler.
 func Fiedler(g *Graph, opt SpectralOptions) (vec []float64, lambda2 float64, err error) {
+	//envlint:ignore ctxflow legacy ctx-free shim; context-first callers use Session.Fiedler
 	x, st, err := DefaultSession().fiedler(context.Background(), g, opt)
 	return x, st.Lambda, err
 }

@@ -13,6 +13,7 @@
 package envred_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -65,7 +66,7 @@ func benchTableCell(b *testing.B, problem string, alg string) {
 	var last perm.Perm
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := f(p.G)
+		r, err := f(context.Background(), p.G)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func BenchmarkTable44(b *testing.B) {
 						f = a.F
 					}
 				}
-				r, err := f(p.G)
+				r, err := f(context.Background(), p.G)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -293,7 +294,7 @@ func BenchmarkAutoPortfolio(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				best := int64(-1)
 				for _, alg := range harness.Algorithms(benchSeed) {
-					r, err := alg.F(p.G)
+					r, err := alg.F(context.Background(), p.G)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -1,0 +1,76 @@
+// Command envlint is the project's contract multichecker: it runs the
+// internal/analysis suite — wsretain, ctxflow, errsentinel, noalloc,
+// readonly — over the packages matching the given patterns and exits
+// nonzero when any contract is violated.
+//
+// Usage:
+//
+//	go run ./cmd/envlint [flags] [packages]
+//
+//	-tags list   build tags for the analyzed configuration (e.g.
+//	             -tags integration); pair with GOAMD64=v3 in the
+//	             environment to analyze the FMA kernel build
+//	-run list    comma-separated subset of analyzers to run
+//	-list        print the analyzers and their contracts, then exit
+//
+// With no package arguments it analyzes ./.... Exit status: 0 clean,
+// 1 findings, 2 the tree could not be loaded or an analyzer failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags for the analyzed configuration")
+	run := flag.String("run", "", "comma-separated subset of analyzers (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*run, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	res, err := analysis.Load(analysis.LoadConfig{Patterns: patterns, Tags: tagList})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(res.Matched, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "envlint: %d finding(s) across %d package(s)\n", len(findings), len(res.Matched))
+		os.Exit(1)
+	}
+}

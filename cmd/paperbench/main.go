@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +51,10 @@ func main() {
 		parallel = flag.Int("parallel", 0, "AUTO worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	// The CLI is the process root: signal handling lives in the shell, so
+	// Background is the right base for the whole run.
+	ctx := context.Background()
 
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -80,9 +85,9 @@ func main() {
 		var results []harness.ProblemResult
 		var err error
 		if *auto {
-			results, err = harness.RunSuitePortfolio(suite, *scale, *seed, *parallel)
+			results, err = harness.RunSuitePortfolio(ctx, suite, *scale, *seed, *parallel)
 		} else {
-			results, err = harness.RunSuite(suite, *scale, *seed)
+			results, err = harness.RunSuite(ctx, suite, *scale, *seed)
 		}
 		if err != nil {
 			log.Fatalf("table %s: %v", id, err)
@@ -101,12 +106,12 @@ func main() {
 	case "4.3":
 		runTable("4_3", gen.SuiteNASA, "Table 4.3: Results (NASA)")
 	case "4.4":
-		runTable44(emit, *scale, *seed)
+		runTable44(ctx, emit, *scale, *seed)
 	case "all":
 		runTable("4_1", gen.SuiteStructural, "Table 4.1: Results (Boeing-Harwell -- Structural Analysis)")
 		runTable("4_2", gen.SuiteMisc, "Table 4.2: Results (Boeing-Harwell -- Miscellaneous)")
 		runTable("4_3", gen.SuiteNASA, "Table 4.3: Results (NASA)")
-		runTable44(emit, *scale, *seed)
+		runTable44(ctx, emit, *scale, *seed)
 	default:
 		log.Fatalf("unknown -table %q", *table)
 	}
@@ -116,7 +121,7 @@ func main() {
 	}
 }
 
-func runTable44(emit func(string, func(io.Writer) error), scale float64, seed int64) {
+func runTable44(ctx context.Context, emit func(string, func(io.Writer) error), scale float64, seed int64) {
 	var rows []harness.FactorRow
 	for _, name := range []string{"BCSSTK29", "BCSSTK33", "BARTH4"} {
 		spec, ok := gen.ByName(name)
@@ -124,7 +129,7 @@ func runTable44(emit func(string, func(io.Writer) error), scale float64, seed in
 			log.Fatalf("problem %s missing", name)
 		}
 		start := time.Now()
-		r, err := harness.RunFactorization(spec.Generate(scale, seed), seed)
+		r, err := harness.RunFactorization(ctx, spec.Generate(scale, seed), seed)
 		if err != nil {
 			log.Fatalf("table 4.4 (%s): %v", name, err)
 		}
@@ -147,7 +152,7 @@ func runFigures(outdir string, scale float64, seed int64, size int) {
 	ords := make(map[string]perm.Perm, 5)
 	ords["fig4_1_original"] = perm.Identity(g.N())
 	for _, alg := range harness.Algorithms(seed) {
-		r, err := alg.F(g)
+		r, err := alg.F(context.Background(), g)
 		if err != nil {
 			log.Fatalf("figures: %s: %v", alg.Name, err)
 		}

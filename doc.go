@@ -249,4 +249,14 @@
 // extraction, V-cycle refinement, Lanczos solve and Ritz extraction paths
 // at 0 allocs/op, and CI regenerates the BENCH_pipeline.json artifact and
 // fails if those gates regress.
+//
+// These prose contracts are also enforced statically. internal/analysis
+// implements five project-specific analyzers — wsretain (workspace
+// lifetime), ctxflow (context threading), errsentinel (errors.Is over
+// ==/!= and %w wrapping), noalloc and readonly (the //envlint:noalloc and
+// //envlint:readonly function markers carried by the kernels above) — and
+// cmd/envlint runs them as a multichecker over every build variant in CI.
+// A deviation from any contract in this documentation fails the build
+// rather than waiting for a reviewer; deliberate exceptions carry an
+// //envlint:ignore directive with a mandatory reason.
 package envred

@@ -1,0 +1,166 @@
+// Package analysis is the engine's static-analysis toolkit: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, diagnostics, an analysistest-style fixture
+// runner) plus the five project-specific analyzers that turn this repo's
+// prose contracts — workspace lifetime, context threading, sentinel-error
+// matching, zero-allocation kernels, read-only slice arguments — into
+// mechanical checks. cmd/envlint is the multichecker binary over all of
+// them; CI runs it on every build variant.
+//
+// The framework is stdlib-only on purpose: the module carries zero
+// external dependencies and the analyzers need nothing beyond go/ast,
+// go/types and `go list` for package metadata. The API deliberately
+// mirrors x/tools so the analyzers could be ported to a vet-tool shim
+// with mechanical edits if the dependency policy ever changes.
+//
+// # Directives
+//
+// Analyzers are driven by three comment directives:
+//
+//	//envlint:noalloc
+//	//envlint:readonly <param> [<param>...]
+//	//envlint:ignore <analyzer> <reason>
+//
+// The first two are markers on a function's doc comment establishing a
+// contract the corresponding analyzer enforces inside that function. The
+// third suppresses one analyzer's diagnostics on the line it annotates
+// (or, when it stands alone on a line, on the line below); the reason is
+// mandatory so every suppression documents itself.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check: a name diagnostics are attributed
+// (and suppressions matched) by, one paragraph of contract documentation,
+// and the per-package run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //envlint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract description printed by
+	// `envlint -list`.
+	Doc string
+	// Run analyzes one package, reporting findings through pass.Report.
+	// A non-nil error aborts the whole envlint run (it signals a broken
+	// analyzer or load, not a finding).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer.Run: the syntax trees,
+// type information and a diagnostic sink. Unlike x/tools there are no
+// Facts or required sub-analyzers — every analyzer here is self-contained.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report is the diagnostic sink installed by the driver.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf formats and emits a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: position translated through the file
+// set and attributed to the analyzer that produced it.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position: //envlint:ignore suppressions have already
+// been applied. The error reports analyzer failures, not findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := ignoreIndex(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.suppressed(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// All returns the full analyzer suite in stable order — what cmd/envlint
+// runs by default.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WSRetainAnalyzer,
+		CtxFlowAnalyzer,
+		ErrSentinelAnalyzer,
+		NoAllocAnalyzer,
+		ReadOnlyAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection against All.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

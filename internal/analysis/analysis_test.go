@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantKey identifies one fixture line that carries expectations.
+type wantKey struct {
+	file string
+	line int
+}
+
+// fixtureWants parses the `// want "regex"` comments out of a loaded
+// fixture package: the analysistest convention, where each comment states
+// a finding expected on its own line.
+func fixtureWants(t *testing.T, pkg *Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pat, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", pkg.Fset.Position(c.Pos()), c.Text, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := wantKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one fixture package, runs the given analyzers over it
+// and diffs the findings against the package's want comments in both
+// directions: every finding must match a want on its line, and every want
+// must be matched by some finding.
+func runFixture(t *testing.T, fixture string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkgs, err := LoadFixtures("testdata/src", fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	findings, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", fixture, err)
+	}
+	wants := fixtureWants(t, pkgs[0])
+	matched := map[wantKey][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range findings {
+		k := wantKey{f.Pos.Filename, f.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func TestWSRetainFixture(t *testing.T)    { runFixture(t, "wsretain", WSRetainAnalyzer) }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, "ctxflow", CtxFlowAnalyzer) }
+func TestCtxFlowMainExempt(t *testing.T)  { runFixture(t, "ctxmain", CtxFlowAnalyzer) }
+func TestErrSentinelFixture(t *testing.T) { runFixture(t, "errsentinel", ErrSentinelAnalyzer) }
+func TestNoAllocFixture(t *testing.T)     { runFixture(t, "noalloc", NoAllocAnalyzer) }
+func TestReadOnlyFixture(t *testing.T)    { runFixture(t, "readonly", ReadOnlyAnalyzer) }
+
+// TestFullSuiteOnFixtures runs every analyzer over every fixture at once:
+// the cross products must not introduce findings beyond each package's
+// own want comments (e.g. the noalloc fixture must stay clean under
+// wsretain).
+func TestFullSuiteOnFixtures(t *testing.T) {
+	for _, fixture := range []string{"wsretain", "ctxflow", "ctxmain", "errsentinel", "noalloc", "readonly"} {
+		t.Run(fixture, func(t *testing.T) { runFixture(t, fixture, All()...) })
+	}
+}
+
+// TestReadOnlyMarkerHygiene checks the directive-anchored diagnostics:
+// a marker naming a non-parameter and a bare marker with no slice
+// parameters to protect. These anchor to the directive line itself, so
+// they are asserted directly instead of via want comments.
+func TestReadOnlyMarkerHygiene(t *testing.T) {
+	pkgs, err := LoadFixtures("testdata/src", "readonlystale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkgs, []*Analyzer{ReadOnlyAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "names typo, which is not a parameter of staleName") {
+		t.Errorf("stale-name finding = %q", findings[0].Message)
+	}
+	if !strings.Contains(findings[1].Message, "matches no slice parameters") {
+		t.Errorf("no-slice finding = %q", findings[1].Message)
+	}
+}
+
+// TestIgnoreDirective checks the suppression semantics: trailing and
+// line-above placements silence the named analyzer; a directive missing
+// its mandatory reason is inert; a directive naming another analyzer does
+// not suppress.
+func TestIgnoreDirective(t *testing.T) {
+	pkgs, err := LoadFixtures("testdata/src", "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkgs, []*Analyzer{CtxFlowAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (inert no-reason ignore and wrong-analyzer ignore): %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "in a library package") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestByName covers the analyzer selection used by envlint -run.
+func TestByName(t *testing.T) {
+	got, err := ByName([]string{"noalloc", "wsretain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != NoAllocAnalyzer || got[1] != WSRetainAnalyzer {
+		t.Fatalf("ByName order wrong: %v", got)
+	}
+	if _, err := ByName([]string{"nonesuch"}); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestFindingString pins the file:line:col rendering envlint prints.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "noalloc", Message: "m"}
+	f.Pos.Filename, f.Pos.Line, f.Pos.Column = "a.go", 3, 7
+	if got, want := f.String(), "a.go:3:7: m (noalloc)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestSelfClean runs the full suite over this package and the envlint
+// command: the analyzers' own implementation must satisfy the contracts
+// it enforces. It exercises the production go-list loader end to end.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the standard library closure from source")
+	}
+	res, err := Load(LoadConfig{Patterns: []string{"repro/internal/analysis", "repro/cmd/envlint"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matched) != 2 {
+		t.Fatalf("matched %d packages, want 2", len(res.Matched))
+	}
+	findings, err := Run(res.Matched, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("self-check finding: %s", f)
+	}
+}
+
+// TestFixtureDiagnosticDeterminism runs one fixture twice and insists on
+// identical output — the sort in Run must fully order findings.
+func TestFixtureDiagnosticDeterminism(t *testing.T) {
+	render := func() string {
+		pkgs, err := LoadFixtures("testdata/src", "readonly")
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, err := Run(pkgs, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, f := range findings {
+			fmt.Fprintln(&sb, f)
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("non-deterministic findings:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces the context-threading contract established in
+// PR 5: cancellation flows from the Session API down to each Lanczos
+// restart, so library code never mints its own root context and never
+// swallows the one it was handed. It flags (a) context.Background() and
+// context.TODO() calls in non-main packages, except the sanctioned
+// nil-default idiom `if ctx == nil { ctx = context.Background() }` at a
+// public API boundary, (b) context parameters that are accepted but
+// never used — a ctx that stops flowing right where the signature
+// promised it would, and (c) context parameters that are not the first
+// parameter.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/TODO() in library packages, accepted-but-unpropagated " +
+		"context parameters, and context parameters not in first position",
+	Run: runCtxFlow,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func runCtxFlow(pass *Pass) error {
+	info := pass.TypesInfo
+	isLibrary := pass.Pkg.Name() != "main"
+	for _, f := range pass.Files {
+		if isLibrary {
+			checkCtxRoots(pass, f)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				continue
+			}
+			checkCtxParams(pass, info, fd)
+		}
+	}
+	return nil
+}
+
+// checkCtxRoots flags context.Background/TODO calls, allowing the
+// nil-default idiom: an assignment `v = context.Background()` whose
+// enclosing if-statement tests `v == nil` (the documented legacy-shim
+// defaulting at the public Session boundary).
+func checkCtxRoots(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if nilDefaultedCtx(info, stack, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s() in a library package severs the caller's cancellation; accept and propagate a ctx parameter", sel.Sel.Name)
+		return true
+	})
+}
+
+// nilDefaultedCtx reports whether the Background/TODO call is the RHS of
+// `v = context.Background()` guarded by an enclosing `if v == nil`.
+func nilDefaultedCtx(info *types.Info, stack []ast.Node, call *ast.CallExpr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	// The direct parent must be a single assignment to a context variable.
+	as, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != call {
+		return false
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	target := info.Uses[id]
+	if target == nil || !isContextType(target.Type()) {
+		return false
+	}
+	// Some enclosing if must test that same variable against nil.
+	for i := len(stack) - 3; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if cond, ok := ifs.Cond.(*ast.BinaryExpr); ok && cond.Op.String() == "==" {
+			for _, side := range []ast.Expr{cond.X, cond.Y} {
+				if sid, ok := ast.Unparen(side).(*ast.Ident); ok && info.Uses[sid] == target {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkCtxParams enforces the two signature rules on one declaration:
+// ctx first, and ctx used.
+func checkCtxParams(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	paramIndex := 0
+	for _, field := range fd.Type.Params.List {
+		isCtx := isContextType(info.TypeOf(field.Type))
+		for _, name := range field.Names {
+			if isCtx {
+				if paramIndex != 0 {
+					pass.Reportf(name.Pos(), "context.Context should be the first parameter of %s", fd.Name.Name)
+				}
+				if name.Name != "_" && fd.Body != nil && !identUsed(info, fd.Body, info.Defs[name]) {
+					pass.Reportf(name.Pos(), "context parameter %s is accepted but never used; propagate it or name it _", name.Name)
+				}
+			}
+			paramIndex++
+		}
+		if len(field.Names) == 0 {
+			if isCtx && paramIndex != 0 {
+				pass.Reportf(field.Pos(), "context.Context should be the first parameter of %s", fd.Name.Name)
+			}
+			paramIndex++
+		}
+	}
+}
+
+// identUsed reports whether obj is referenced anywhere under root.
+func identUsed(info *types.Info, root ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return true // defensive: missing type info must not produce findings
+	}
+	used := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces every envlint comment directive.
+const directivePrefix = "//envlint:"
+
+// Directive is one parsed //envlint: comment: the verb (noalloc,
+// readonly, ignore), its whitespace-separated arguments, and where it
+// appeared.
+type Directive struct {
+	Verb string
+	Args []string
+	Pos  token.Pos
+}
+
+// parseDirective decodes one comment, returning ok=false for ordinary
+// comments.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	return Directive{Verb: fields[0], Args: fields[1:], Pos: c.Pos()}, true
+}
+
+// funcDirectives collects the directives attached to each function
+// declaration's doc comment across the package.
+func funcDirectives(files []*ast.File) map[*ast.FuncDecl][]Directive {
+	out := map[*ast.FuncDecl][]Directive{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if d, ok := parseDirective(c); ok {
+						out[fd] = append(out[fd], d)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// markedFuncs returns the functions carrying a given marker verb, with
+// the marker's arguments.
+func markedFuncs(files []*ast.File, verb string) map[*ast.FuncDecl]Directive {
+	out := map[*ast.FuncDecl]Directive{}
+	for fd, dirs := range funcDirectives(files) {
+		for _, d := range dirs {
+			if d.Verb == verb {
+				out[fd] = d
+			}
+		}
+	}
+	return out
+}
+
+// ignores maps file name → line → analyzer names suppressed on that line.
+type ignores map[string]map[int][]string
+
+// ignoreIndex scans a package for //envlint:ignore directives. A
+// directive suppresses the named analyzer on its own line and on the
+// line immediately below, which covers both placements — trailing a
+// statement and standing alone above one. The directive requires both an
+// analyzer name and a reason; malformed ones are simply inert, and an
+// inert ignore makes the underlying finding reappear, which is the loud
+// failure mode.
+func ignoreIndex(pkg *Package) ignores {
+	idx := ignores{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok || d.Verb != "ignore" || len(d.Args) < 2 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d.Args[0])
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], d.Args[0])
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether analyzer name is ignored at pos.
+func (ig ignores) suppressed(name string, pos token.Position) bool {
+	byLine, ok := ig[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, n := range byLine[pos.Line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// ErrSentinelAnalyzer enforces the error-matching contract of the store,
+// retry and client layers: sentinel values (ErrNotFound, ErrCorrupt,
+// ErrTransient, ErrCancelled, ...) travel through fmt.Errorf("...: %w")
+// wrapping and resilience decorators, so identity must be tested with
+// errors.Is, never ==/!=. It flags (a) ==/!= comparisons where one side
+// is an error and the other a sentinel-named value, (b) switch
+// statements dispatching on an error value with sentinel cases, and (c)
+// fmt.Errorf calls that pass an error argument without a %w verb —
+// wrapping that silently strips the chain errors.Is depends on.
+var ErrSentinelAnalyzer = &Analyzer{
+	Name: "errsentinel",
+	Doc: "flags ==/!= comparisons and switch dispatch against Err* sentinels (use errors.Is) " +
+		"and fmt.Errorf wrapping of error values without %w",
+	Run: runErrSentinel,
+}
+
+// errType is the universal error interface.
+var errType = types.Universe.Lookup("error").Type()
+
+// isErrorExpr reports whether e has static type error (or a type that
+// implements it as a non-nil concrete error value would not — sentinel
+// comparisons are interface-vs-interface, so the static interface type
+// is the signal).
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && types.AssignableTo(tv.Type, errType)
+}
+
+// sentinelName reports whether e is a value named like an error
+// sentinel: Err followed by an upper-case letter (ErrNotFound,
+// store.ErrCorrupt). nil and ordinary identifiers pass.
+func sentinelName(e ast.Expr) (string, bool) {
+	var name string
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return "", false
+	}
+	if len(name) > 3 && strings.HasPrefix(name, "Err") && unicode.IsUpper(rune(name[3])) {
+		return name, true
+	}
+	return "", false
+}
+
+func runErrSentinel(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				checkSentinelCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSentinelCompare flags `err == ErrX` / `err != ErrX`.
+func checkSentinelCompare(pass *Pass, b *ast.BinaryExpr) {
+	info := pass.TypesInfo
+	if !isErrorExpr(info, b.X) || !isErrorExpr(info, b.Y) {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if name, ok := sentinelName(side); ok {
+			pass.Reportf(b.Pos(), "%s compared with %s; wrapped chains defeat identity — use errors.Is", name, b.Op)
+			return
+		}
+	}
+}
+
+// checkSentinelSwitch flags `switch err { case ErrX: ... }`.
+func checkSentinelSwitch(pass *Pass, s *ast.SwitchStmt) {
+	info := pass.TypesInfo
+	if s.Tag == nil || !isErrorExpr(info, s.Tag) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinelName(e); ok {
+				pass.Reportf(e.Pos(), "switch dispatch on error value against %s; wrapped chains defeat identity — use errors.Is", name)
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// without any %w verb in a constant format string.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	ftv, ok := info.Types[call.Args[0]]
+	if !ok || ftv.Value == nil || ftv.Value.Kind() != constant.String {
+		return // non-constant format: cannot judge
+	}
+	if strings.Contains(constant.StringVal(ftv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.AssignableTo(tv.Type, errType) && !tv.IsNil() {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error without %%w; the sentinel chain is lost to errors.Is")
+			return
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the fixture half of the analysistest-style harness: small
+// self-contained packages under internal/analysis/testdata/src/<name>
+// exercise each analyzer against both flagged and clean code. Fixture
+// imports resolve first against sibling fixture directories (so wsretain
+// fixtures can import a stub "scratch" package shaped like the real one)
+// and then against the standard library, which is type-checked from
+// source once per process and cached.
+
+// stdFixtureCache shares the standard-library type-check across fixture
+// loads; std packages are export-only (NoBodies), so the cost is paid
+// once per distinct import.
+var stdFixtureCache = struct {
+	sync.Mutex
+	closure map[string]*types.Package
+	fset    *token.FileSet
+}{closure: map[string]*types.Package{}, fset: token.NewFileSet()}
+
+// LoadFixtures loads the named fixture packages from root (conventionally
+// testdata/src), type-checking them with full bodies and info, ready to
+// hand to Run.
+func LoadFixtures(root string, pkgs ...string) ([]*Package, error) {
+	std := &stdFixtureCache
+	std.Lock()
+	defer std.Unlock()
+	fset := std.fset
+
+	type fixture struct {
+		path    string
+		files   []*ast.File
+		imports []string
+	}
+	parsed := map[string]*fixture{}
+	var parse func(path string) error
+	parse = func(path string) error {
+		if _, done := parsed[path]; done {
+			return nil
+		}
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("analysis: fixture %s: %w", path, err)
+		}
+		fx := &fixture{path: path}
+		parsed[path] = fx
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("analysis: parsing fixture %s: %w", path, err)
+			}
+			fx.files = append(fx.files, f)
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				fx.imports = append(fx.imports, p)
+			}
+		}
+		for _, imp := range fx.imports {
+			if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(imp))); err == nil {
+				if err := parse(imp); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := parse(p); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect the non-fixture (standard library) imports and ensure their
+	// closure is in the cache.
+	var stdNeeded []string
+	for _, fx := range parsed {
+		for _, imp := range fx.imports {
+			if _, isFixture := parsed[imp]; !isFixture {
+				if _, have := std.closure[imp]; !have {
+					stdNeeded = append(stdNeeded, imp)
+				}
+			}
+		}
+	}
+	if len(stdNeeded) > 0 {
+		sort.Strings(stdNeeded)
+		res, err := Load(LoadConfig{
+			Patterns:  stdNeeded,
+			NoBodies:  true,
+			Fset:      fset,
+			Preloaded: std.closure,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for path, tp := range res.Closure {
+			std.closure[path] = tp
+		}
+	}
+
+	// Type-check fixtures in dependency order.
+	checked := map[string]*Package{}
+	closure := map[string]*types.Package{}
+	for path, tp := range std.closure {
+		closure[path] = tp
+	}
+	var check func(path string) error
+	check = func(path string) error {
+		if _, done := checked[path]; done {
+			return nil
+		}
+		fx := parsed[path]
+		for _, imp := range fx.imports {
+			if _, isFixture := parsed[imp]; isFixture {
+				if err := check(imp); err != nil {
+					return err
+				}
+			}
+		}
+		info := newTypesInfo()
+		tpkg, err := typeCheck(fset, path, fx.files, mapImporter(closure), false, info)
+		if err != nil {
+			return fmt.Errorf("analysis: type-checking fixture %s: %w", path, err)
+		}
+		closure[path] = tpkg
+		checked[path] = &Package{
+			PkgPath:   path,
+			Name:      tpkg.Name(),
+			Dir:       filepath.Join(root, filepath.FromSlash(path)),
+			Fset:      fset,
+			Syntax:    fx.files,
+			Types:     tpkg,
+			TypesInfo: info,
+		}
+		return nil
+	}
+	out := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		if err := check(p); err != nil {
+			return nil, err
+		}
+		out = append(out, checked[p])
+	}
+	return out, nil
+}

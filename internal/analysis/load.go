@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package — the unit a Pass analyzes.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// LoadConfig parameterizes Load. The zero value loads ./... from the
+// current directory with the host build configuration.
+type LoadConfig struct {
+	// Dir is the working directory for `go list` (any directory inside the
+	// module). Empty means the process working directory.
+	Dir string
+	// Patterns are the go-list package patterns to analyze. Empty means
+	// ./...
+	Patterns []string
+	// Tags are extra build tags (`go list -tags`), e.g. "integration".
+	Tags []string
+	// Env entries override the inherited environment for `go list` (e.g.
+	// GOAMD64=v3). CGO_ENABLED=0 is always forced: the analyzers
+	// type-check everything from source and never process cgo output.
+	Env []string
+	// NoBodies type-checks even the matched packages without function
+	// bodies — used when a caller only needs export data (the fixture
+	// runner preparing standard-library imports).
+	NoBodies bool
+	// Fset, when non-nil, is the file set to parse into; callers merging
+	// several loads (fixtures plus their imports) share one.
+	Fset *token.FileSet
+	// Preloaded seeds the importer: packages already type-checked by an
+	// earlier Load are reused instead of re-checked.
+	Preloaded map[string]*types.Package
+}
+
+// LoadResult is the outcome of one Load: the packages that matched the
+// patterns (fully type-checked, with bodies and TypesInfo) plus the
+// types of every package in the transitive closure, for reuse as
+// Preloaded in later loads.
+type LoadResult struct {
+	Matched []*Package
+	Closure map[string]*types.Package
+	Fset    *token.FileSet
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command, then parses and type-checks
+// the transitive import closure from source in dependency order.
+// Dependencies are checked without function bodies (export data is all an
+// importer needs); matched packages keep bodies and receive full
+// types.Info. Any parse, type or list error fails the load — envlint
+// refuses to report on a tree it could not fully see.
+func Load(cfg LoadConfig) (*LoadResult, error) {
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = []string{"./..."}
+	}
+	deps, err := goList(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	matchedList, err := goList(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	matched := map[string]bool{}
+	for _, p := range matchedList {
+		matched[p.ImportPath] = true
+	}
+
+	fset := cfg.Fset
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	closure := map[string]*types.Package{}
+	for path, tp := range cfg.Preloaded {
+		closure[path] = tp
+	}
+	// The standard library vendors x/net, x/crypto etc. under a vendor/
+	// prefix, but its sources import them by the unvendored path; register
+	// each vendored package under both names.
+	record := func(path string, tp *types.Package) {
+		closure[path] = tp
+		if trimmed, ok := strings.CutPrefix(path, "vendor/"); ok {
+			closure[trimmed] = tp
+		}
+	}
+	imp := mapImporter(closure)
+	res := &LoadResult{Closure: closure, Fset: fset}
+
+	// `go list -deps` emits dependencies before dependents, so a single
+	// pass type-checks every import before it is needed.
+	for _, lp := range deps {
+		if lp.ImportPath == "unsafe" {
+			closure["unsafe"] = types.Unsafe
+			continue
+		}
+		if _, done := closure[lp.ImportPath]; done {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			// Assembly-only or build-constrained-empty package: nothing to
+			// check, but blank importers still need a resolvable handle.
+			if lp.Name != "" {
+				empty := types.NewPackage(lp.ImportPath, lp.Name)
+				empty.MarkComplete()
+				record(lp.ImportPath, empty)
+			}
+			continue
+		}
+		files, err := parsePackage(fset, lp)
+		if err != nil {
+			return nil, err
+		}
+		withInfo := matched[lp.ImportPath] && !cfg.NoBodies
+		var info *types.Info
+		if withInfo {
+			info = newTypesInfo()
+		}
+		tpkg, err := typeCheck(fset, lp.ImportPath, files, imp, !withInfo, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+		}
+		record(lp.ImportPath, tpkg)
+		if matched[lp.ImportPath] {
+			res.Matched = append(res.Matched, &Package{
+				PkgPath:   lp.ImportPath,
+				Name:      lp.Name,
+				Dir:       lp.Dir,
+				Fset:      fset,
+				Syntax:    files,
+				Types:     tpkg,
+				TypesInfo: info,
+			})
+		}
+	}
+	return res, nil
+}
+
+// goList shells out to `go list -json` (with -deps when deps is true) and
+// decodes the JSON stream.
+func goList(cfg LoadConfig, deps bool) ([]*listedPackage, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Name,Dir,GoFiles,Imports,Standard,Incomplete,Error"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	if len(cfg.Tags) > 0 {
+		args = append(args, "-tags", strings.Join(cfg.Tags, ","))
+	}
+	args = append(args, cfg.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	cmd.Env = append(cmd.Env, cfg.Env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w\n%s", strings.Join(cfg.Patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// parsePackage parses every listed Go file of one package, comments
+// included (the directives live there).
+func parsePackage(fset *token.FileSet, lp *listedPackage) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newTypesInfo allocates the full set of type-information maps the
+// analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// typeCheck runs go/types over one parsed package.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, noBodies bool, info *types.Info) (*types.Package, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer:         imp,
+		IgnoreFuncBodies: noBodies,
+		FakeImportC:      true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tpkg, nil
+}
+
+// mapImporter resolves imports from an already-type-checked closure.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("analysis: import %q not in load closure", path)
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAllocAnalyzer turns the bench-only zero-allocation gates into a
+// compile-time check: a function marked //envlint:noalloc (the hot-path
+// kernels of internal/envelope, internal/linalg, internal/scratch and
+// internal/laplacian) must not contain the structural allocation sites
+// the AllocsPerRun guards exist to catch — make, new, append growth,
+// map writes, slice/map composite literals, address-taken composite
+// literals, closures, goroutine launches, non-constant string
+// concatenation or string<->[]byte conversions.
+//
+// The check is intraprocedural by design: calls into other functions are
+// not followed (annotate the callees too), and allocations on panic
+// paths via fmt are tolerated because the runtime is already unwinding.
+// The benchmark gates remain the ground truth for escape-analysis
+// subtleties; the marker catches the structural regressions a reviewer
+// would otherwise have to spot by eye.
+var NoAllocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc: "flags allocation sites (make/new/append/map writes/closures/composite literals/" +
+		"string building) inside functions marked //envlint:noalloc",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for fd := range markedFuncs(pass.Files, "noalloc") {
+		if fd.Body == nil {
+			continue
+		}
+		checkNoAllocBody(pass, fd.Body)
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func checkNoAllocBody(pass *Pass, body ast.Node) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n, "make"):
+				pass.Reportf(n.Pos(), "make in a //envlint:noalloc function allocates; take the buffer from the workspace")
+			case isBuiltin(info, n, "new"):
+				pass.Reportf(n.Pos(), "new in a //envlint:noalloc function allocates")
+			case isBuiltin(info, n, "append"):
+				pass.Reportf(n.Pos(), "append in a //envlint:noalloc function may grow its backing array; size the buffer up front")
+			}
+			// String conversions: string(bytes) / []byte(s) copy.
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+				to, from := tv.Type.Underlying(), info.TypeOf(n.Args[0])
+				if from != nil && isStringByteConv(to, from.Underlying()) {
+					pass.Reportf(n.Pos(), "string/[]byte conversion in a //envlint:noalloc function copies")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in a //envlint:noalloc function allocates")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in a //envlint:noalloc function allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address-taken composite literal in a //envlint:noalloc function escapes to the heap")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := info.TypeOf(ix.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							pass.Reportf(lhs.Pos(), "map write in a //envlint:noalloc function may allocate on growth; use the workspace stamp map")
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in a //envlint:noalloc function may allocate its captures")
+			return false // the body is the closure's problem, reported once
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in a //envlint:noalloc function allocates a stack")
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation in a //envlint:noalloc function allocates")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isStringByteConv reports whether a conversion between to and from is a
+// copying string<->[]byte (or []rune) conversion.
+func isStringByteConv(to, from types.Type) bool {
+	return (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ReadOnlyAnalyzer enforces the read-only slice contracts that the
+// Artifacts cache and the linalg kernels document in prose: a function
+// marked //envlint:readonly <param>... promises not to write through the
+// named slice parameters (no arguments means every slice parameter).
+// Memoized Fiedler vectors, cached spectral orderings and Lanczos basis
+// columns are handed to many consumers as the same backing array — one
+// write corrupts every later reader. Flagged writes: element assignment,
+// element ++/--, copy with the parameter as destination, append to the
+// parameter (which writes the shared backing array when capacity
+// allows), and taking the address of an element.
+var ReadOnlyAnalyzer = &Analyzer{
+	Name: "readonly",
+	Doc: "flags writes through slice parameters declared read-only with " +
+		"//envlint:readonly (element stores, copy/append into them, element address-of)",
+	Run: runReadOnly,
+}
+
+func runReadOnly(pass *Pass) error {
+	info := pass.TypesInfo
+	for fd, dir := range markedFuncs(pass.Files, "readonly") {
+		if fd.Body == nil {
+			continue
+		}
+		marked := readonlyParams(pass, info, fd, dir)
+		if len(marked) == 0 {
+			continue
+		}
+		checkReadOnlyBody(pass, fd.Body, marked)
+	}
+	return nil
+}
+
+// readonlyParams resolves the marker's arguments to parameter objects.
+// With no arguments every slice parameter is read-only. A name that does
+// not match any parameter is itself reported — a stale marker silently
+// protecting nothing is worse than no marker.
+func readonlyParams(pass *Pass, info *types.Info, fd *ast.FuncDecl, dir Directive) map[types.Object]bool {
+	byName := map[string]types.Object{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				byName[name.Name] = obj
+			}
+		}
+	}
+	marked := map[types.Object]bool{}
+	if len(dir.Args) == 0 {
+		for _, obj := range byName {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				marked[obj] = true
+			}
+		}
+		if len(marked) == 0 {
+			pass.Reportf(dir.Pos, "//envlint:readonly on %s matches no slice parameters", fd.Name.Name)
+		}
+		return marked
+	}
+	for _, arg := range dir.Args {
+		obj, ok := byName[arg]
+		if !ok {
+			pass.Reportf(dir.Pos, "//envlint:readonly names %s, which is not a parameter of %s", arg, fd.Name.Name)
+			continue
+		}
+		marked[obj] = true
+	}
+	return marked
+}
+
+// markedBase resolves the root identifier of an index expression chain
+// (p[i], p[i:j][k]) and reports whether it is a marked parameter.
+func markedBase(info *types.Info, marked map[types.Object]bool, e ast.Expr) (string, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil && marked[obj] {
+				return x.Name, true
+			}
+			return "", false
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+func checkReadOnlyBody(pass *Pass, body ast.Node, marked map[types.Object]bool) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if name, ok := markedBase(info, marked, ix.X); ok {
+						pass.Reportf(lhs.Pos(), "write through read-only parameter %s", name)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				if name, ok := markedBase(info, marked, ix.X); ok {
+					pass.Reportf(n.Pos(), "write through read-only parameter %s", name)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "copy") && len(n.Args) == 2 {
+				if name, ok := markedBase(info, marked, n.Args[0]); ok {
+					pass.Reportf(n.Args[0].Pos(), "copy into read-only parameter %s", name)
+				}
+			}
+			if isBuiltin(info, n, "append") && len(n.Args) > 0 {
+				if name, ok := markedBase(info, marked, n.Args[0]); ok {
+					pass.Reportf(n.Args[0].Pos(), "append to read-only parameter %s writes its shared backing array", name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+					if name, ok := markedBase(info, marked, ix.X); ok {
+						pass.Reportf(n.Pos(), "address of element of read-only parameter %s escapes the contract", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,48 @@
+// Package ctxflow exercises the context-threading analyzer in a library
+// (non-main) package: minted root contexts, unused and misplaced context
+// parameters are flagged; the nil-default idiom and blank parameters are
+// not.
+package ctxflow
+
+import "context"
+
+func mintRoot() {
+	ctx := context.Background() // want "context.Background.. in a library package"
+	_ = ctx
+}
+
+func mintTODO() error {
+	return work(context.TODO()) // want "context.TODO.. in a library package"
+}
+
+func unusedCtx(ctx context.Context) int { // want "context parameter ctx is accepted but never used"
+	return 1
+}
+
+func ctxNotFirst(n int, ctx context.Context) error { // want "context.Context should be the first parameter of ctxNotFirst"
+	_ = n
+	return work(ctx)
+}
+
+// The sanctioned patterns below must produce no findings.
+
+// NilDefault is the documented legacy-shim idiom: defaulting a nil ctx at
+// a public API boundary is allowed.
+func NilDefault(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work(ctx)
+}
+
+func blankCtx(_ context.Context) int { return 2 }
+
+func propagates(ctx context.Context, n int) error {
+	_ = n
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

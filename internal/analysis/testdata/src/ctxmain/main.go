@@ -1,0 +1,14 @@
+// Command ctxmain exercises the ctxflow main-package exemption: a main
+// package is the process root and may mint context.Background freely.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}

@@ -1,0 +1,54 @@
+// Package errsentinel exercises the sentinel-error analyzer: identity
+// comparisons and switch dispatch against Err* values are flagged, as is
+// fmt.Errorf formatting an error without %w; errors.Is and %w wrapping
+// are the sanctioned forms.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotFound = errors.New("artifact not found")
+var ErrCorrupt = errors.New("artifact corrupt")
+
+func compareEq(err error) bool {
+	return err == ErrNotFound // want "ErrNotFound compared with =="
+}
+
+func compareNeq(err error) bool {
+	return ErrCorrupt != err // want "ErrCorrupt compared with !="
+}
+
+func dispatch(err error) string {
+	switch err {
+	case ErrNotFound: // want "switch dispatch on error value against ErrNotFound"
+		return "not found"
+	case nil:
+		return "ok"
+	default:
+		return "other"
+	}
+}
+
+func wrapWithoutW(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+// The sanctioned patterns below must produce no findings.
+
+func wrapWithW(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func matchWithIs(err error) bool {
+	return errors.Is(err, ErrNotFound)
+}
+
+func nilCheck(err error) bool {
+	return err == nil || err != nil
+}
+
+func nonSentinelFormat(n int) error {
+	return fmt.Errorf("bad size %d", n)
+}

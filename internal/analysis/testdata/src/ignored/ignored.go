@@ -1,0 +1,30 @@
+// Package ignored exercises //envlint:ignore suppression: both the
+// trailing and the line-above placements must silence the named analyzer,
+// a directive missing its mandatory reason must be inert (the finding
+// reappears), and a directive naming a different analyzer must not
+// suppress. Checked by a dedicated test rather than want comments, since
+// the interesting lines already carry a directive comment.
+package ignored
+
+import "context"
+
+func trailingPlacement() {
+	ctx := context.Background() //envlint:ignore ctxflow fixture: same-line suppression
+	_ = ctx
+}
+
+func linePlacement() {
+	//envlint:ignore ctxflow fixture: line-above suppression
+	ctx := context.Background()
+	_ = ctx
+}
+
+func missingReason() {
+	ctx := context.TODO() //envlint:ignore ctxflow
+	_ = ctx
+}
+
+func wrongAnalyzer() {
+	ctx := context.Background() //envlint:ignore noalloc reason naming the wrong analyzer
+	_ = ctx
+}

@@ -1,0 +1,54 @@
+// Package noalloc exercises the zero-allocation marker: every structural
+// allocation site inside a marked function is flagged; the same
+// constructs in unmarked functions, and allocation-free kernels, are not.
+package noalloc
+
+//envlint:noalloc
+func hotAllocs(dst []float64, idx map[int]int, s string, bs []byte) {
+	buf := make([]float64, 4) // want "make in a //envlint:noalloc function allocates"
+	_ = buf
+	dst = append(dst, 1) // want "append in a //envlint:noalloc function may grow"
+	p := new(int)        // want "new in a //envlint:noalloc function allocates"
+	_ = p
+	lit := []int{1, 2} // want "slice literal in a //envlint:noalloc function allocates"
+	_ = lit
+	m := map[int]int{} // want "map literal in a //envlint:noalloc function allocates"
+	_ = m
+	idx[1] = 2         // want "map write in a //envlint:noalloc function may allocate on growth"
+	pt := &point{x: 1} // want "address-taken composite literal in a //envlint:noalloc function escapes"
+	_ = pt
+	f := func() int { return 0 } // want "closure in a //envlint:noalloc function may allocate its captures"
+	_ = f
+	go helper()     // want "goroutine launch in a //envlint:noalloc function allocates a stack"
+	joined := s + s // want "string concatenation in a //envlint:noalloc function allocates"
+	_ = joined
+	b2 := []byte(s) // want "string/..byte conversion in a //envlint:noalloc function copies"
+	_ = b2
+	s2 := string(bs) // want "string/..byte conversion in a //envlint:noalloc function copies"
+	_ = s2
+}
+
+type point struct{ x, y float64 }
+
+func helper() {}
+
+// The patterns below must produce no findings.
+
+//envlint:noalloc
+func hotClean(dst, src []float64, n int) float64 {
+	var acc float64
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 2 * src[i]
+		acc += dst[i]
+	}
+	const tag = "pre" + "fix" // constant concatenation folds at compile time
+	_ = tag
+	return acc
+}
+
+// unmarked may allocate freely.
+func unmarked(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, 1)
+}

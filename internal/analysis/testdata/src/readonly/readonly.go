@@ -1,0 +1,47 @@
+// Package readonly exercises the read-only parameter marker: writes
+// through marked slice parameters are flagged; reads and writes through
+// unmarked parameters are not.
+package readonly
+
+//envlint:readonly src
+func namedParam(dst, src []float64) {
+	dst[0] = src[0]    // dst is unmarked: writable
+	src[1] = 2         // want "write through read-only parameter src"
+	src[0]++           // want "write through read-only parameter src"
+	copy(src, dst)     // want "copy into read-only parameter src"
+	_ = append(src, 1) // want "append to read-only parameter src writes its shared backing array"
+	p := &src[0]       // want "address of element of read-only parameter src escapes the contract"
+	_ = p
+}
+
+//envlint:readonly
+func allSliceParams(x, y []float64, n int) float64 {
+	x[0] = float64(n) // want "write through read-only parameter x"
+	y[1] = 2          // want "write through read-only parameter y"
+	return x[0] + y[0]
+}
+
+//envlint:readonly src
+func resliced(dst, src []float64) {
+	src[1:][0] = 3 // want "write through read-only parameter src"
+	dst[0] = src[0]
+}
+
+// The patterns below must produce no findings.
+
+//envlint:readonly src
+func readsOnly(dst, src []float64) float64 {
+	var acc float64
+	for i := range src {
+		acc += src[i]
+	}
+	dst[0] = acc
+	local := []float64{1}
+	local[0] = 2
+	return acc
+}
+
+// unmarkedWrites has no marker; writes are fine.
+func unmarkedWrites(x []float64) {
+	x[0] = 1
+}

@@ -1,0 +1,13 @@
+// Package readonlystale exercises the marker-hygiene diagnostics of the
+// readonly analyzer: a marker naming a non-parameter and a bare marker on
+// a function with no slice parameters are each reported at the directive.
+// (Checked by a dedicated test rather than want comments: the findings
+// anchor to the directive line, where a want comment would corrupt the
+// directive itself.)
+package readonlystale
+
+//envlint:readonly typo
+func staleName(buf []float64) float64 { return buf[0] }
+
+//envlint:readonly
+func noSliceParams(n int) int { return n + 1 }

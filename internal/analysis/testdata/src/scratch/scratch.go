@@ -1,0 +1,36 @@
+// Package scratch is a stub of the engine's workspace arena, shaped just
+// enough for the analyzer fixtures to type-check against: the wsretain
+// analyzer matches the Workspace type by name and package-path suffix, so
+// this stub exercises exactly the same code paths as the real package.
+package scratch
+
+// Workspace is the fixture stand-in for the typed bump arena.
+type Workspace struct {
+	ints  []int32
+	bools []bool
+	flts  []float64
+}
+
+// Get checks a workspace out of the (stubbed) pool.
+func Get() *Workspace { return &Workspace{} }
+
+// Put returns a workspace to the pool.
+func Put(ws *Workspace) {}
+
+// Int32s checks out an int32 buffer.
+func (ws *Workspace) Int32s(n int) []int32 {
+	ws.ints = make([]int32, n)
+	return ws.ints
+}
+
+// Bools checks out a bool buffer.
+func (ws *Workspace) Bools(n int) []bool {
+	ws.bools = make([]bool, n)
+	return ws.bools
+}
+
+// Float64s checks out a float64 buffer.
+func (ws *Workspace) Float64s(n int) []float64 {
+	ws.flts = make([]float64, n)
+	return ws.flts
+}

@@ -1,0 +1,9 @@
+// Package shared exports a package-level workspace slot so the wsretain
+// fixture can exercise the cross-package global-store case.
+package shared
+
+import "scratch"
+
+// WS is a package-level workspace sink — storing into it from another
+// package must be flagged.
+var WS *scratch.Workspace

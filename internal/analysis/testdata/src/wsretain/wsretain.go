@@ -1,0 +1,92 @@
+// Package wsretain exercises the workspace-retention analyzer: every
+// flagged line carries a want comment; the rest is the sanctioned usage
+// the analyzer must stay silent on.
+package wsretain
+
+import (
+	"scratch"
+	"shared"
+)
+
+// OrderRequest mirrors the engine's sanctioned workspace carrier; the
+// analyzer exempts it by type name.
+type OrderRequest struct {
+	Seed      int64
+	Workspace *scratch.Workspace
+}
+
+type holder struct {
+	ws  *scratch.Workspace
+	buf []float64
+}
+
+var global *scratch.Workspace
+
+var globalBuf = scratch.Get().Float64s(8) // want "workspace buffer stored in package-level variable globalBuf"
+
+func storeGlobal(ws *scratch.Workspace) {
+	global = ws // want "workspace stored in package-level variable global"
+}
+
+func storeCrossPackage(ws *scratch.Workspace) {
+	shared.WS = ws // want "workspace stored in package-level variable WS"
+}
+
+func storeField(h *holder, ws *scratch.Workspace) {
+	h.ws = ws // want "workspace retained in struct field ws"
+}
+
+func storeBufField(h *holder, ws *scratch.Workspace) {
+	h.buf = ws.Float64s(4) // want "workspace buffer retained in struct field buf"
+}
+
+func packComposite(ws *scratch.Workspace) {
+	consume(holder{ws: ws}) // want "workspace retained in composite literal"
+}
+
+func launchWithArg(ws *scratch.Workspace) {
+	go consumeWS(ws) // want "workspace passed to a goroutine"
+}
+
+func launchCapturing(ws *scratch.Workspace) {
+	go func() {
+		_ = ws.Int32s(4) // want "workspace ws captured by goroutine closure"
+	}()
+}
+
+func returnBuffer(ws *scratch.Workspace) []float64 {
+	return ws.Float64s(3) // want "checked-out workspace buffer returned to the caller"
+}
+
+// The sanctioned patterns below must produce no findings.
+
+func fillRequest(ws *scratch.Workspace) {
+	var req OrderRequest
+	req.Workspace = ws
+	submit(OrderRequest{Seed: 1, Workspace: ws})
+}
+
+func localComposite(ws *scratch.Workspace) {
+	// A composite literal assigned to a local stays inside the call.
+	h := holder{ws: ws, buf: ws.Float64s(2)}
+	consume(h)
+}
+
+func perGoroutineWorkspace() {
+	go func() {
+		ws := scratch.Get()
+		defer scratch.Put(ws)
+		_ = ws.Int32s(1)
+	}()
+}
+
+func copyOut(ws *scratch.Workspace) []float64 {
+	buf := ws.Float64s(3)
+	out := make([]float64, len(buf))
+	copy(out, buf)
+	return out
+}
+
+func consume(h holder)                { _ = h }
+func consumeWS(ws *scratch.Workspace) { _ = ws }
+func submit(req OrderRequest)         { _ = req }

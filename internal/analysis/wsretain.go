@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WSRetainAnalyzer enforces the workspace lifetime contract from the
+// scratch package and the Orderer docs: a *scratch.Workspace (and any
+// buffer checked out of one) is only valid until the matching Release or
+// Put, must never outlive the call it was handed to, and must never be
+// shared across goroutines. Mechanically it flags workspace-derived
+// values that are (a) stored into package-level variables, (b) stored
+// into struct fields or composite literals other than the sanctioned
+// OrderRequest carrier, (c) captured by a goroutine closure or passed as
+// a `go` call argument, or (d) returned as a raw checked-out buffer.
+var WSRetainAnalyzer = &Analyzer{
+	Name: "wsretain",
+	Doc: "flags *scratch.Workspace values (and buffers checked out of them) retained in " +
+		"globals, struct fields, escaping goroutines or returns, violating the workspace " +
+		"lifetime contract",
+	Run: runWSRetain,
+}
+
+// isScratchWorkspace reports whether t is scratch.Workspace (the package
+// is matched by its path base so the analyzer works identically against
+// repro/internal/scratch and the test fixtures' stub scratch package).
+func isScratchWorkspace(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Workspace" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "scratch" || strings.HasSuffix(path, "/scratch")
+}
+
+// isWorkspacePtr reports whether t is *scratch.Workspace.
+func isWorkspacePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isScratchWorkspace(p.Elem())
+}
+
+// wsDerived classifies an expression as workspace-derived: the workspace
+// pointer itself, or the direct result of a buffer checkout
+// (ws.Int32s(n), ws.Bools(n), ws.Float64s(n) — any method call on a
+// workspace receiver returning a slice). Buffers laundered through
+// intermediate variables are beyond a single-pass syntactic check; the
+// AllocsPerRun and race suites remain the backstop there.
+func wsDerived(info *types.Info, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && isWorkspacePtr(tv.Type) {
+		return "workspace", true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if recv, ok := info.Types[sel.X]; ok && isWorkspacePtr(recv.Type) {
+		if tv, ok := info.Types[e]; ok {
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+				return "workspace buffer", true
+			}
+		}
+	}
+	return "", false
+}
+
+// orderRequestField reports whether the written field belongs to an
+// OrderRequest — the one sanctioned struct carrier of a workspace (the
+// engine threads the calling worker's scratch through it for the
+// duration of a single Order call).
+// The root package re-exports the type as an alias, and Go 1.23+
+// materializes aliases in go/types, so the check must unalias at every
+// step.
+func orderRequestField(t types.Type) bool {
+	for {
+		t = types.Unalias(t)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "OrderRequest"
+}
+
+func runWSRetain(pass *Pass) error {
+	info := pass.TypesInfo
+	// Composite literals assigned to a local variable stay inside the
+	// call (the RQI solver packs checked-out buffers into a MINRESWork on
+	// the stack); only literals that escape the statement — call
+	// arguments, returns, package-level values — are checked. ast.Inspect
+	// is pre-order, so assignments mark their literals before the
+	// literals themselves are visited.
+	localLit := map[*ast.CompositeLit]bool{}
+	markLocal := func(rhs ast.Expr) {
+		if lit, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+			localLit[lit] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil && obj.Parent() != pass.Pkg.Scope() {
+							markLocal(rhs)
+						}
+					}
+					kind, ok := wsDerived(info, rhs)
+					if !ok {
+						continue
+					}
+					checkWSSink(pass, n.Lhs[i], kind)
+				}
+			case *ast.ValueSpec:
+				// Package-level `var retained = ws` style declarations.
+				for i, v := range n.Values {
+					kind, ok := wsDerived(info, v)
+					if !ok || i >= len(n.Names) {
+						continue
+					}
+					if obj := info.Defs[n.Names[i]]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(n.Names[i].Pos(), "%s stored in package-level variable %s; workspaces must not outlive the call", kind, n.Names[i].Name)
+					} else if obj != nil {
+						markLocal(v)
+					}
+				}
+			case *ast.CompositeLit:
+				if !localLit[n] {
+					checkWSComposite(pass, n)
+				}
+			case *ast.GoStmt:
+				checkWSGo(pass, n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+						if kind, ok := wsDerived(info, call); ok && kind == "workspace buffer" {
+							pass.Reportf(r.Pos(), "checked-out workspace buffer returned to the caller; copy it out instead")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWSSink flags workspace-derived values assigned to globals or
+// struct fields.
+func checkWSSink(pass *Pass, lhs ast.Expr, kind string) {
+	info := pass.TypesInfo
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[lhs]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(lhs.Pos(), "%s stored in package-level variable %s; workspaces must not outlive the call", kind, lhs.Name)
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[lhs]
+		if !ok || sel.Kind() != types.FieldVal {
+			// Qualified package identifier (pkg.Global = ws).
+			if obj := info.Uses[lhs.Sel]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				pass.Reportf(lhs.Pos(), "%s stored in package-level variable %s; workspaces must not outlive the call", kind, lhs.Sel.Name)
+			}
+			return
+		}
+		if recvType, ok := info.Types[lhs.X]; ok && orderRequestField(recvType.Type) {
+			return
+		}
+		pass.Reportf(lhs.Pos(), "%s retained in struct field %s; workspaces are only valid until Release/Put", kind, lhs.Sel.Name)
+	}
+}
+
+// checkWSComposite flags workspace-derived values packed into composite
+// literals (struct fields, slices, maps) other than an OrderRequest.
+func checkWSComposite(pass *Pass, lit *ast.CompositeLit) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[lit]
+	if ok && orderRequestField(tv.Type) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if kind, ok := wsDerived(info, val); ok {
+			pass.Reportf(val.Pos(), "%s retained in composite literal; workspaces are only valid until Release/Put", kind)
+		}
+	}
+}
+
+// checkWSGo flags workspaces crossing a goroutine boundary: passed as a
+// `go` call argument, or captured by the goroutine's closure from the
+// enclosing scope.
+func checkWSGo(pass *Pass, g *ast.GoStmt) {
+	info := pass.TypesInfo
+	for _, arg := range g.Call.Args {
+		if kind, ok := wsDerived(info, arg); ok {
+			pass.Reportf(arg.Pos(), "%s passed to a goroutine; workspaces are not safe for concurrent use", kind)
+		}
+	}
+	fn, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !isWorkspacePtr(obj.Type()) {
+			return true
+		}
+		if obj.Pos() < fn.Pos() || obj.Pos() > fn.End() {
+			pass.Reportf(id.Pos(), "workspace %s captured by goroutine closure; give each goroutine its own (scratch.Get/Put)", id.Name)
+		}
+		return true
+	})
+}

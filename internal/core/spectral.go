@@ -184,6 +184,7 @@ func SetEigensolveTestHook(f func(n int)) (restore func()) {
 func Spectral(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 	ws := scratch.Get()
 	defer scratch.Put(ws)
+	//envlint:ignore ctxflow ctx-free convenience wrapper; SpectralWS is the cancellable entry point
 	return SpectralWS(context.Background(), ws, g, opt)
 }
 
@@ -229,6 +230,7 @@ func SpectralWS(ctx context.Context, ws *scratch.Workspace, g *graph.Graph, opt 
 func FiedlerVector(g *graph.Graph, opt Options) ([]float64, float64, error) {
 	ws := scratch.Get()
 	defer scratch.Put(ws)
+	//envlint:ignore ctxflow ctx-free convenience wrapper; FiedlerConnectedWS is the cancellable entry point
 	x, st, err := FiedlerConnectedWS(context.Background(), ws, g, opt)
 	return x, st.Lambda, err
 }
@@ -307,6 +309,7 @@ func OrderByValues(x []float64) perm.Perm {
 func SpectralSloan(g *graph.Graph, opt Options) (perm.Perm, Info, error) {
 	ws := scratch.Get()
 	defer scratch.Put(ws)
+	//envlint:ignore ctxflow ctx-free convenience wrapper; SpectralSloanWS is the cancellable entry point
 	return SpectralSloanWS(context.Background(), ws, g, opt)
 }
 

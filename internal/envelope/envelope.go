@@ -71,6 +71,9 @@ func Compute(g *graph.Graph, order perm.Perm) Stats {
 // ComputeInto is the fused envelope kernel: it produces every Stats field
 // in one traversal of the ordering, using ws for the inverse-permutation
 // and wavefront scratch. Steady state is allocation-free.
+//
+//envlint:noalloc
+//envlint:readonly order
 func ComputeInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) Stats {
 	if len(order) != g.N() {
 		panic(fmt.Sprintf("envelope: ordering length %d != n %d", len(order), g.N()))
@@ -133,6 +136,9 @@ func Esize(g *graph.Graph, order perm.Perm) int64 {
 
 // EsizeInto computes the envelope size with ws scratch; steady state is
 // allocation-free.
+//
+//envlint:noalloc
+//envlint:readonly order
 func EsizeInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) int64 {
 	m := ws.Mark()
 	defer ws.Release(m)
@@ -160,6 +166,9 @@ func EsizeInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) int64 {
 // The identity: under the reversal, the vertex at (reversed) position
 // n−1−i has row width max(0, maxp−i) where maxp is the largest original
 // position among the vertex and its neighbors.
+//
+//envlint:noalloc
+//envlint:readonly order
 func EsizeBothInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) (fwd, rev int64) {
 	m := ws.Mark()
 	defer ws.Release(m)
@@ -192,6 +201,9 @@ func Bandwidth(g *graph.Graph, order perm.Perm) int {
 }
 
 // BandwidthInto computes the bandwidth with ws scratch.
+//
+//envlint:noalloc
+//envlint:readonly order
 func BandwidthInto(ws *scratch.Workspace, g *graph.Graph, order perm.Perm) int {
 	m := ws.Mark()
 	defer ws.Release(m)

@@ -42,8 +42,10 @@ const (
 // the eigensolver statistics (zero for the combinatorial orderings) and
 // the ordering's own wall-clock time. The tables read Seconds off
 // Result.Elapsed, which times the algorithm alone — scoring and
-// validation stay out of the published timings.
-type OrderFunc func(*graph.Graph) (envred.Result, error)
+// validation stay out of the published timings. ctx flows through to the
+// Session call, so a cancelled table run interrupts in-flight
+// eigensolves instead of finishing the row.
+type OrderFunc func(context.Context, *graph.Graph) (envred.Result, error)
 
 // NamedAlgorithm pairs a table label with its ordering function.
 type NamedAlgorithm struct {
@@ -62,8 +64,8 @@ func Algorithms(seed int64) []NamedAlgorithm {
 
 func sessionAlgorithms(sess *envred.Session) []NamedAlgorithm {
 	mk := func(alg string) OrderFunc {
-		return func(g *graph.Graph) (envred.Result, error) {
-			return sess.Order(context.Background(), g, alg)
+		return func(ctx context.Context, g *graph.Graph) (envred.Result, error) {
+			return sess.Order(ctx, g, alg)
 		}
 	}
 	return []NamedAlgorithm{
@@ -90,8 +92,8 @@ func statsOf(res envred.Result) solver.Stats {
 // candidates within the run — that sharing is the engine, not the cache).
 func PortfolioAlgorithms(seed int64, parallel int) []NamedAlgorithm {
 	sess := envred.NewSession(envred.SessionOptions{Seed: seed, Parallelism: parallel, CacheGraphs: -1})
-	return append(sessionAlgorithms(sess), NamedAlgorithm{AlgAuto, func(g *graph.Graph) (envred.Result, error) {
-		return sess.Auto(context.Background(), g)
+	return append(sessionAlgorithms(sess), NamedAlgorithm{AlgAuto, func(ctx context.Context, g *graph.Graph) (envred.Result, error) {
+		return sess.Auto(ctx, g)
 	}})
 }
 
@@ -123,20 +125,20 @@ type ProblemResult struct {
 // envelope ranks. Failing algorithms (eigensolver breakdowns) report an
 // error; the paper's algorithms never legitimately fail on connected
 // graphs.
-func RunProblem(p gen.Problem, seed int64) (ProblemResult, error) {
-	return runProblem(p, Algorithms(seed))
+func RunProblem(ctx context.Context, p gen.Problem, seed int64) (ProblemResult, error) {
+	return runProblem(ctx, p, Algorithms(seed))
 }
 
 // RunProblemPortfolio is RunProblem with the AUTO portfolio row appended:
 // five ranked rows per problem.
-func RunProblemPortfolio(p gen.Problem, seed int64, parallel int) (ProblemResult, error) {
-	return runProblem(p, PortfolioAlgorithms(seed, parallel))
+func RunProblemPortfolio(ctx context.Context, p gen.Problem, seed int64, parallel int) (ProblemResult, error) {
+	return runProblem(ctx, p, PortfolioAlgorithms(seed, parallel))
 }
 
-func runProblem(p gen.Problem, algs []NamedAlgorithm) (ProblemResult, error) {
+func runProblem(ctx context.Context, p gen.Problem, algs []NamedAlgorithm) (ProblemResult, error) {
 	res := ProblemResult{Problem: p}
 	for _, alg := range algs {
-		r, err := alg.F(p.G)
+		r, err := alg.F(ctx, p.G)
 		if err != nil {
 			return res, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
 		}
@@ -172,17 +174,17 @@ func rank(rows []Row) {
 }
 
 // RunSuite runs every problem of a suite at the given scale.
-func RunSuite(suite string, scale float64, seed int64) ([]ProblemResult, error) {
+func RunSuite(ctx context.Context, suite string, scale float64, seed int64) ([]ProblemResult, error) {
 	return runSuite(suite, scale, seed, func(p gen.Problem) (ProblemResult, error) {
-		return RunProblem(p, seed)
+		return RunProblem(ctx, p, seed)
 	})
 }
 
 // RunSuitePortfolio runs every problem of a suite with the AUTO portfolio
 // row included.
-func RunSuitePortfolio(suite string, scale float64, seed int64, parallel int) ([]ProblemResult, error) {
+func RunSuitePortfolio(ctx context.Context, suite string, scale float64, seed int64, parallel int) ([]ProblemResult, error) {
 	return runSuite(suite, scale, seed, func(p gen.Problem) (ProblemResult, error) {
-		return RunProblemPortfolio(p, seed, parallel)
+		return RunProblemPortfolio(ctx, p, seed, parallel)
 	})
 }
 
@@ -242,14 +244,14 @@ type FactorRow struct {
 // RunFactorization reproduces one Table 4.4 pair: order the problem with
 // SPECTRAL and RCM, assemble the SPD model matrix L+I under each ordering,
 // and time the envelope Cholesky factorization.
-func RunFactorization(p gen.Problem, seed int64) ([]FactorRow, error) {
+func RunFactorization(ctx context.Context, p gen.Problem, seed int64) ([]FactorRow, error) {
 	algs := Algorithms(seed)
 	var rows []FactorRow
 	for _, alg := range algs {
 		if alg.Name != AlgSpectral && alg.Name != AlgRCM {
 			continue
 		}
-		r, err := alg.F(p.G)
+		r, err := alg.F(ctx, p.G)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s on %s: %w", alg.Name, p.Name, err)
 		}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func smallProblem(t *testing.T, name string) gen.Problem {
 
 func TestRunProblemRanks(t *testing.T) {
 	p := smallProblem(t, "DWT2680")
-	res, err := RunProblem(p, 1)
+	res, err := RunProblem(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestRunProblemRanks(t *testing.T) {
 }
 
 func TestRunSuiteSmallScale(t *testing.T) {
-	results, err := RunSuite(gen.SuiteMisc, 0.05, 3)
+	results, err := RunSuite(context.Background(), gen.SuiteMisc, 0.05, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRunSuiteSmallScale(t *testing.T) {
 
 func TestRunProblemPortfolio(t *testing.T) {
 	p := smallProblem(t, "DWT2680")
-	res, err := RunProblemPortfolio(p, 1, 2)
+	res, err := RunProblemPortfolio(context.Background(), p, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRunProblemPortfolio(t *testing.T) {
 
 func TestRunFactorization(t *testing.T) {
 	p := smallProblem(t, "BARTH4")
-	rows, err := RunFactorization(p, 2)
+	rows, err := RunFactorization(context.Background(), p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestRunFactorization(t *testing.T) {
 func TestSpectralBeatsRCMOnAirfoil(t *testing.T) {
 	spec, _ := gen.ByName("BARTH4")
 	p := spec.Generate(0.25, 7)
-	res, err := RunProblem(p, 7)
+	res, err := RunProblem(context.Background(), p, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestSpectralBeatsRCMOnAirfoil(t *testing.T) {
 func TestGPSBandwidthBeatsSpectral(t *testing.T) {
 	spec, _ := gen.ByName("BARTH4")
 	p := spec.Generate(0.25, 7)
-	res, err := RunProblem(p, 7)
+	res, err := RunProblem(context.Background(), p, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,9 @@ func NewFrom(g *graph.Graph, deg []float64) *Op {
 func (o *Op) Dim() int { return o.G.N() }
 
 // Apply computes y = L·x with y[v] = deg(v)·x[v] − Σ_{w∼v} x[w].
+//
+//envlint:noalloc
+//envlint:readonly x
 func (o *Op) Apply(x, y []float64) {
 	o.applyRange(x, y, 0, o.G.N())
 }
@@ -48,6 +51,9 @@ func (o *Op) Apply(x, y []float64) {
 // ApplyAxpy computes y = L·x − beta·qprev in one pass over the rows — the
 // fused three-term-recurrence matvec of linalg.AxpyApplier that saves the
 // Lanczos engine a separate Axpy sweep over y.
+//
+//envlint:noalloc
+//envlint:readonly x qprev
 func (o *Op) ApplyAxpy(x, y []float64, beta float64, qprev []float64) {
 	o.applyAxpyRange(x, y, beta, qprev, 0, o.G.N())
 }
@@ -57,6 +63,9 @@ func (o *Op) Workers() int { return 1 }
 
 // applyRange computes rows lo:hi of y = L·x — the block kernel ParallelOp
 // distributes across its workers.
+//
+//envlint:noalloc
+//envlint:readonly x
 func (o *Op) applyRange(x, y []float64, lo, hi int) {
 	g := o.G
 	for v := lo; v < hi; v++ {
@@ -69,6 +78,9 @@ func (o *Op) applyRange(x, y []float64, lo, hi int) {
 }
 
 // applyAxpyRange computes rows lo:hi of y = L·x − beta·qprev.
+//
+//envlint:noalloc
+//envlint:readonly x qprev
 func (o *Op) applyAxpyRange(x, y []float64, beta float64, qprev []float64, lo, hi int) {
 	g := o.G
 	for v := lo; v < hi; v++ {
@@ -83,6 +95,9 @@ func (o *Op) applyAxpyRange(x, y []float64, beta float64, qprev []float64, lo, h
 // RayleighQuotient returns xᵀLx / xᵀx, using the edge form
 // xᵀLx = Σ_{(u,v)∈E} (x_u − x_v)², which is exact and cheaper than a
 // matvec plus dot product.
+//
+//envlint:noalloc
+//envlint:readonly x
 func (o *Op) RayleighQuotient(x []float64) float64 {
 	g := o.G
 	var num float64

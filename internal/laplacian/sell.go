@@ -126,6 +126,9 @@ func (s *Sell) Dim() int { return s.op.Dim() }
 func (s *Sell) Workers() int { return 1 }
 
 // Apply computes y = L·x through the slice layout.
+//
+//envlint:noalloc
+//envlint:readonly x
 func (s *Sell) Apply(x, y []float64) {
 	s.applySlices(x, y, 0, len(s.kmin))
 	s.applyRest(x, y)
@@ -133,6 +136,9 @@ func (s *Sell) Apply(x, y []float64) {
 
 // ApplyAxpy computes y = L·x − beta·qprev fused into the slice pass (see
 // Op.ApplyAxpy).
+//
+//envlint:noalloc
+//envlint:readonly x qprev
 func (s *Sell) ApplyAxpy(x, y []float64, beta float64, qprev []float64) {
 	s.applyAxpySlices(x, y, beta, qprev, 0, len(s.kmin))
 	s.applyAxpyRest(x, y, beta, qprev)
@@ -143,6 +149,9 @@ func (s *Sell) ApplyAxpy(x, y []float64, beta float64, qprev []float64) {
 // as independent chains: a full phase covering the slice's common Kmin
 // columns (branch-free, column-major gathers), then the ragged per-lane
 // tails continued in place on y — the same per-row term order as CSR.
+//
+//envlint:noalloc
+//envlint:readonly x
 func (s *Sell) applySlices(x, y []float64, lo, hi int) {
 	deg := s.op.deg
 	cols := s.cols
@@ -188,6 +197,9 @@ func (s *Sell) applySlices(x, y []float64, lo, hi int) {
 // than Kmin neighbors continues its accumulation in place on y, visiting
 // its remaining columns in adjacency order. Lanes are degree-descending,
 // so the first lane with no tail ends the scan.
+//
+//envlint:noalloc
+//envlint:readonly x r
 func (s *Sell) tailSlice(x, y []float64, si int, r []int32) {
 	g := s.op.G
 	k := int(s.kmin[si])
@@ -208,6 +220,9 @@ func (s *Sell) tailSlice(x, y []float64, si int, r []int32) {
 
 // applyRest runs the scalar CSR kernel over the leftover rows of the
 // final partial window (at most sellC−1 rows).
+//
+//envlint:noalloc
+//envlint:readonly x
 func (s *Sell) applyRest(x, y []float64) {
 	g := s.op.G
 	for _, v := range s.rest {
@@ -221,6 +236,9 @@ func (s *Sell) applyRest(x, y []float64) {
 
 // applyAxpySlices is applySlices with the Lanczos recurrence term fused:
 // each lane seeds deg·x − beta·qprev, exactly as the CSR kernel does.
+//
+//envlint:noalloc
+//envlint:readonly x qprev
 func (s *Sell) applyAxpySlices(x, y []float64, beta float64, qprev []float64, lo, hi int) {
 	deg := s.op.deg
 	cols := s.cols
@@ -263,6 +281,9 @@ func (s *Sell) applyAxpySlices(x, y []float64, beta float64, qprev []float64, lo
 }
 
 // applyAxpyRest is applyRest with the recurrence term fused.
+//
+//envlint:noalloc
+//envlint:readonly x qprev
 func (s *Sell) applyAxpyRest(x, y []float64, beta float64, qprev []float64) {
 	g := s.op.G
 	for _, v := range s.rest {

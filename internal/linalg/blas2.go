@@ -47,6 +47,8 @@ func KernelISA() string { return kernelISA }
 // c = Qᵀw. c must have length ≥ k; q must have length ≥ k·n.
 func GemvT(c, q []float64, k, n int, w []float64) { gemvTImpl(c, q, k, n, w) }
 
+//envlint:noalloc
+//envlint:readonly q w
 func gemvTPortable(c, q []float64, k, n int, w []float64) {
 	w = w[:n]
 	j := 0
@@ -73,6 +75,9 @@ func gemvTPortable(c, q []float64, k, n int, w []float64) {
 // k×n matrix q — w −= Q·c in the column view. It is the subtraction half of
 // one classical Gram–Schmidt pass: GemvT collects every projection
 // coefficient, GemvSub removes them all in one blocked sweep.
+//
+//envlint:noalloc
+//envlint:readonly q c
 func GemvSub(w, q []float64, k, n int, c []float64) {
 	w = w[:n]
 	j := 0
@@ -105,6 +110,9 @@ func GemvSub(w, q []float64, k, n int, c []float64) {
 // The returned value is Σ c[j]², which with ‖w after‖² reconstructs
 // ‖w before‖² by Pythagoras — the cancellation measure behind the
 // "twice is enough" refinement test, available without an extra pass.
+//
+//envlint:noalloc
+//envlint:readonly q
 func OrthoMGS(w, q []float64, k, n int, c []float64) float64 {
 	w = w[:n]
 	var csq float64
@@ -143,6 +151,8 @@ func OrthoMGS(w, q []float64, k, n int, c []float64) float64 {
 // c is read-only.
 func Gemv(out, q []float64, k, n int, c []float64) { gemvImpl(out, q, k, n, c) }
 
+//envlint:noalloc
+//envlint:readonly q c
 func gemvPortable(out, q []float64, k, n int, c []float64) {
 	out = out[:n]
 	Fill(out, 0)
@@ -167,6 +177,8 @@ func gemvPortable(out, q []float64, k, n int, c []float64) {
 // uses for w −= β·v_old; α = vᵀw.
 func DotAxpy(a float64, x, y, z []float64) float64 { return dotAxpyImpl(a, x, y, z) }
 
+//envlint:noalloc
+//envlint:readonly x y
 func dotAxpyPortable(a float64, x, y, z []float64) float64 {
 	var s float64
 	z = z[:len(x)]
@@ -184,6 +196,9 @@ func dotAxpyPortable(a float64, x, y, z []float64) float64 {
 // scaling; it is meant for the well-scaled vectors of the solver inner
 // loops (unit-norm iterates, residuals of unit vectors), where components
 // stay far inside the ±1e150 square-safe range.
+//
+//envlint:noalloc
+//envlint:readonly x
 func AxpyNrm2(a float64, x, y []float64) float64 {
 	var ssq float64
 	y = y[:len(x)]

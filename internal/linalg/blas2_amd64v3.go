@@ -26,6 +26,8 @@ func init() {
 	kernelISA = "amd64.v3+fma"
 }
 
+//envlint:noalloc
+//envlint:readonly q w
 func gemvTAVX(c, q []float64, k, n int, w []float64) {
 	w = w[:n]
 	j := 0
@@ -62,6 +64,8 @@ func gemvTAVX(c, q []float64, k, n int, w []float64) {
 	}
 }
 
+//envlint:noalloc
+//envlint:readonly q c
 func gemvAVX(out, q []float64, k, n int, c []float64) {
 	out = out[:n]
 	Fill(out, 0)
@@ -88,6 +92,8 @@ func gemvAVX(out, q []float64, k, n int, c []float64) {
 	}
 }
 
+//envlint:noalloc
+//envlint:readonly x y
 func dotAxpyFMA(a float64, x, y, z []float64) float64 {
 	var s float64
 	z = z[:len(x)]

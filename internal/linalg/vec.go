@@ -22,6 +22,9 @@ func Grow(buf []float64, n int) []float64 {
 }
 
 // Dot returns xᵀy. The slices must have equal length.
+//
+//envlint:noalloc
+//envlint:readonly
 func Dot(x, y []float64) float64 {
 	var s float64
 	for i, xi := range x {
@@ -32,6 +35,9 @@ func Dot(x, y []float64) float64 {
 
 // Nrm2 returns the Euclidean norm of x, guarding against overflow by
 // scaling (the reference NETLIB dnrm2 approach).
+//
+//envlint:noalloc
+//envlint:readonly
 func Nrm2(x []float64) float64 {
 	var scale, ssq float64
 	ssq = 1
@@ -53,6 +59,9 @@ func Nrm2(x []float64) float64 {
 }
 
 // Axpy computes y += a·x in place.
+//
+//envlint:noalloc
+//envlint:readonly x
 func Axpy(a float64, x, y []float64) {
 	for i, xi := range x {
 		y[i] += a * xi
@@ -60,6 +69,8 @@ func Axpy(a float64, x, y []float64) {
 }
 
 // Scal computes x *= a in place.
+//
+//envlint:noalloc
 func Scal(a float64, x []float64) {
 	for i := range x {
 		x[i] *= a
@@ -67,11 +78,16 @@ func Scal(a float64, x []float64) {
 }
 
 // Copy copies src into dst (lengths must match).
+//
+//envlint:noalloc
+//envlint:readonly src
 func Copy(dst, src []float64) {
 	copy(dst, src)
 }
 
 // Fill sets every element of x to v.
+//
+//envlint:noalloc
 func Fill(x []float64, v float64) {
 	for i := range x {
 		x[i] = v
@@ -80,6 +96,8 @@ func Fill(x []float64, v float64) {
 
 // Normalize scales x to unit 2-norm and returns the original norm.
 // A zero vector is left unchanged and 0 is returned.
+//
+//envlint:noalloc
 func Normalize(x []float64) float64 {
 	n := Nrm2(x)
 	if n > 0 {
@@ -90,12 +108,17 @@ func Normalize(x []float64) float64 {
 
 // OrthogonalizeAgainst makes x orthogonal to the unit vector q via one step
 // of classical Gram–Schmidt: x -= (qᵀx)·q. q must have unit norm.
+//
+//envlint:noalloc
+//envlint:readonly q
 func OrthogonalizeAgainst(x, q []float64) {
 	Axpy(-Dot(q, x), q, x)
 }
 
 // ProjectOutOnes removes the component of x along the constant vector —
 // the Laplacian null space. Equivalent to subtracting the mean.
+//
+//envlint:noalloc
 func ProjectOutOnes(x []float64) {
 	if len(x) == 0 {
 		return

@@ -93,6 +93,7 @@ type Result struct {
 func Fiedler(g *graph.Graph, opt Options) (Result, error) {
 	ws := scratch.Get()
 	defer scratch.Put(ws)
+	//envlint:ignore ctxflow ctx-free convenience wrapper; FiedlerWS is the cancellable entry point
 	return FiedlerWS(context.Background(), ws, g, opt)
 }
 

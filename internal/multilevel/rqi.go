@@ -107,6 +107,7 @@ func RQI(g *graph.Graph, x []float64, opt RQIOptions) RQIResult {
 func RQIWS(ws *scratch.Workspace, g *graph.Graph, x []float64, opt RQIOptions) RQIResult {
 	m := ws.Mark()
 	defer ws.Release(m)
+	//envlint:ignore ctxflow ctx-free convenience wrapper; RQIOnWS is the cancellable entry point
 	return RQIOnWS(context.Background(), ws, laplacian.AutoFrom(g, ws.Float64s(g.N())), x, opt)
 }
 

@@ -35,6 +35,78 @@ func TestTransient(t *testing.T) {
 	}
 }
 
+// wrapper wraps without an opinion of its own — the shape of the store's
+// decorators and fmt.Errorf("...: %w") chains.
+type wrapper struct{ inner error }
+
+func (w wrapper) Error() string { return "wrap: " + w.inner.Error() }
+func (w wrapper) Unwrap() error { return w.inner }
+
+func TestTransientWrappedChains(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"double-wrapped retryable", fmt.Errorf("a: %w", fmt.Errorf("b: %w", marked{true})), true},
+		{"double-wrapped final marker", fmt.Errorf("a: %w", fmt.Errorf("b: %w", marked{false})), false},
+		{"custom unwrapper around retryable", wrapper{wrapper{marked{true}}}, true},
+		{"joined errors containing retryable", errors.Join(errors.New("side"), marked{true}), true},
+		{"joined errors all unmarked", errors.Join(errors.New("a"), errors.New("b")), false},
+		{"retryable wrapping deadline stays final", fmt.Errorf("op: %w: %w", marked{true}, context.DeadlineExceeded), false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("%s: Transient = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTransientOutermostMarkerWins pins the errors.As traversal order: the
+// first Retryable() in the chain decides, so a decorator that downgrades a
+// transient inner error to final is honored.
+func TestTransientOutermostMarkerWins(t *testing.T) {
+	err := fmt.Errorf("op: %w", downgrading{marked{true}})
+	if Transient(err) {
+		t.Error("outer Retryable()=false did not override the inner retryable")
+	}
+	// Without the downgrade the same chain is transient — the downgrade is
+	// what flips it.
+	if !Transient(fmt.Errorf("op: %w", wrapper{marked{true}})) {
+		t.Error("opinion-free wrapper hid the inner retryable")
+	}
+}
+
+// downgrading is final itself but unwraps to a retryable error — a
+// decorator that has decided retries stopped helping.
+type downgrading struct{ inner error }
+
+func (d downgrading) Error() string   { return "downgraded: " + d.inner.Error() }
+func (d downgrading) Unwrap() error   { return d.inner }
+func (d downgrading) Retryable() bool { return false }
+
+// TestSleepDeadlineResultIsFinal closes the retry loop's invariant: when
+// Sleep refuses to park past the deadline, the error it returns must
+// classify as final, so the loop that called it terminates instead of
+// spinning on zero-length sleeps.
+func TestSleepDeadlineResultIsFinal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := Sleep(ctx, time.Second)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Sleep = %v, want context.DeadlineExceeded", err)
+	}
+	if Transient(err) {
+		t.Fatal("Sleep's deadline refusal classified as transient; retry loops would spin")
+	}
+	// Same for a mid-sleep cancellation.
+	cctx, ccancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); ccancel() }()
+	if err := Sleep(cctx, time.Second); Transient(err) {
+		t.Fatal("Sleep's cancellation result classified as transient")
+	}
+}
+
 func TestDelayFullJitter(t *testing.T) {
 	// Rand pinned to its supremum: Delay returns (just under) the ceiling,
 	// so the doubling and the cap are observable.

@@ -57,10 +57,14 @@ func Put(ws *Workspace) {
 type Mark struct{ i, b, f int }
 
 // Mark returns a checkpoint of the arenas.
+//
+//envlint:noalloc
 func (ws *Workspace) Mark() Mark { return Mark{ws.nexti, ws.nextb, ws.nextf} }
 
 // Release returns every buffer checked out since m to the arenas. The freed
 // buffers keep their capacity and will back future checkouts.
+//
+//envlint:noalloc
 func (ws *Workspace) Release(m Mark) {
 	ws.nexti, ws.nextb, ws.nextf = m.i, m.b, m.f
 }
@@ -136,12 +140,16 @@ func (ws *Workspace) MapReset(n int) {
 }
 
 // MapSet binds key k (in the range given to MapReset) to v.
+//
+//envlint:noalloc
 func (ws *Workspace) MapSet(k int, v int32) {
 	ws.mapVal[k] = v
 	ws.mapGen[k] = ws.mapCur
 }
 
 // MapGet returns the value bound to k since the last MapReset.
+//
+//envlint:noalloc
 func (ws *Workspace) MapGet(k int) (int32, bool) {
 	if ws.mapGen[k] != ws.mapCur {
 		return 0, false

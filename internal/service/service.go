@@ -183,6 +183,7 @@ func New(cfg Config) *Server {
 		jobs:     newJobStore(cfg.maxJobsRetained()),
 		jobCh:    make(chan *job, cfg.queueDepth()),
 	}
+	//envlint:ignore ctxflow the daemon owns its lifetime; Shutdown cancels this base context
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if cfg.Store != nil {
 		s.rawStore = cfg.Store

@@ -268,6 +268,8 @@ func artifactSizeHint(a *Artifact) int {
 // the record. Any malformation — truncation, bad magic, version or kind
 // mismatch, impossible lengths, trailing garbage, or sections inconsistent
 // with N — fails with an error wrapping ErrCorrupt.
+//
+//envlint:readonly data
 func DecodeArtifact(data []byte) (Key, *Artifact, error) {
 	d := &decoder{b: data}
 	decodeHeader(d, kindArtifact)
@@ -333,6 +335,8 @@ func EncodeGraph(g *graph.Graph) []byte {
 // DecodeGraph parses an encoded graph and validates the full CSR
 // invariants (monotone Xadj, sorted symmetric duplicate-free adjacency),
 // so a corrupted entry can never yield a structurally invalid Graph.
+//
+//envlint:readonly data
 func DecodeGraph(data []byte) (*graph.Graph, error) {
 	d := &decoder{b: data}
 	decodeHeader(d, kindGraph)

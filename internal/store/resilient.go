@@ -330,6 +330,7 @@ func (r *Resilient) run(opName string, f func() (any, error)) (any, error) {
 			break
 		}
 		r.retries.Add(1)
+		//envlint:ignore ctxflow Store ops take no ctx by design; the backoff sleep has nothing to inherit
 		if serr := r.sleep(context.Background(), r.pol.Delay(attempt)); serr != nil {
 			break
 		}
